@@ -1,0 +1,12 @@
+#!/bin/sh
+# Assemble bench_output.txt from the main suite run plus the re-runs of
+# the four benches whose shape criteria / protocol were revised mid-run.
+{
+  echo "=== Full benchmark suite run (paper scale, seed 42) ==="
+  cat /root/repo/bench_run.log
+  echo
+  echo "=== Re-runs after revisions: fig4 (shape criteria), fig5 (pair-wise"
+  echo "=== protocol), ablation_staleness (claim scoped to 300s point),"
+  echo "=== ext_qos (fault-free grid).  These supersede the F entries above."
+  cat /root/repo/bench_fixes.log
+} > /root/repo/bench_output.txt

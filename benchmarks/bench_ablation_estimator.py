@@ -1,0 +1,56 @@
+"""Ablation — estimator recency (EWMA) and planned-load correction.
+
+Two design choices DESIGN.md calls out on top of eq. 3:
+
+* **EWMA vs plain mean** — the paper's text says the approach estimates
+  the "near future execution environment"; the EWMA operationalizes
+  that.  A plain all-history mean is the literal reading of eq. 3.
+* **Planned-load correction** — `avg * (1 + planned/CPUs)` keeps one
+  planning pass from herding every ready job onto the momentarily-best
+  site.
+
+Both variants are run head-to-head against the default.
+"""
+
+from repro.experiments import Scenario, ServerSpec, format_table, run_scenario
+
+from benchmarks.common import SEED, emit, scale, scaled_dags
+
+PAPER_DAGS = 30
+
+VARIANTS = (
+    ServerSpec("default(ewma+corr)", "completion-time"),
+    ServerSpec("mean-estimator", "completion-time", estimator_mode="mean"),
+    ServerSpec("no-correction", "completion-time",
+               use_prediction_correction=False),
+)
+
+
+def test_ablation_estimator(benchmark):
+    n_dags = scaled_dags(PAPER_DAGS)
+    sc = Scenario(
+        name="ablation-estimator",
+        servers=VARIANTS,
+        n_dags=n_dags,
+        seed=SEED,
+        horizon_s=24 * 3600.0,
+    )
+    result = benchmark.pedantic(lambda: run_scenario(sc),
+                                rounds=1, iterations=1)
+    rows = []
+    for spec in VARIANTS:
+        s = result[spec.label]
+        rows.append([spec.label, f"{s.finished_dags}/{s.total_dags}",
+                     s.avg_dag_completion_s, s.resubmissions])
+    emit("ablation_estimator", format_table(
+        ["variant", "dags", "avg dag completion (s)", "resubmissions"],
+        rows,
+        title=f"Ablation: completion-time estimator variants, {n_dags} dags",
+    ))
+    if scale() >= 1.0:
+        # All variants must complete the workload; the default should not
+        # be dominated (>25% worse) by either ablated variant.
+        base = result["default(ewma+corr)"].avg_dag_completion_s
+        for spec in VARIANTS:
+            assert result[spec.label].finished_dags == n_dags
+            assert base < 1.25 * result[spec.label].avg_dag_completion_s

@@ -1,0 +1,45 @@
+"""Extension — heterogeneous workloads (paper §6 future work).
+
+The paper's experiments used identical jobs; §6 plans "different types
+of workload to reflect general and real applications".  This bench
+mixes short (30 s) and long (300 s) job classes and checks that the
+completion-time hybrid still beats round-robin — the feedback signal
+survives runtime heterogeneity.
+"""
+
+from repro.experiments import Scenario, ServerSpec, format_table, run_scenario
+
+from benchmarks.common import SEED, emit, scale, scaled_dags
+
+PAPER_DAGS = 30
+
+
+def test_ext_heterogeneous_workload(benchmark):
+    n_dags = scaled_dags(PAPER_DAGS)
+    sc = Scenario(
+        name="ext-hetero",
+        servers=(ServerSpec("completion-time", "completion-time"),
+                 ServerSpec("round-robin", "round-robin")),
+        n_dags=n_dags,
+        seed=SEED,
+        horizon_s=24 * 3600.0,
+        workload_overrides={
+            "runtime_classes": [(30.0, 0.6), (300.0, 0.4)],
+        },
+    )
+    result = benchmark.pedantic(lambda: run_scenario(sc),
+                                rounds=1, iterations=1)
+    rows = [
+        [label, f"{result[label].finished_dags}/{n_dags}",
+         result[label].avg_dag_completion_s, result[label].resubmissions]
+        for label in ("completion-time", "round-robin")
+    ]
+    emit("ext_heterogeneous", format_table(
+        ["algorithm", "dags", "avg dag completion (s)", "resubmissions"],
+        rows,
+        title=(f"Extension: heterogeneous workload (30s/300s mix), "
+               f"{n_dags} dags"),
+    ))
+    if scale() >= 1.0:
+        assert result["completion-time"].avg_dag_completion_s < \
+            result["round-robin"].avg_dag_completion_s

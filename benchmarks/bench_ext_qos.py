@@ -1,0 +1,57 @@
+"""Extension — deadline-aware QoS scheduling (paper §6 future work).
+
+Run on a fault-free grid (the extension demonstrates deadline
+awareness, not fault tolerance): the qos-deadline algorithm spreads
+load over every deadline-safe site and must keep its deadline hit rate
+competitive with round-robin's while the completion-time hybrid shows
+the light-load baseline (it meets deadlines for free by being fast).
+"""
+
+from repro.experiments import Scenario, ServerSpec, format_table, run_scenario
+
+from benchmarks.common import SEED, emit, scale, scaled_dags
+
+PAPER_DAGS = 30
+DEADLINE_S = 900.0
+
+
+def deadline_hits(server_result, deadline_s):
+    times = server_result.job_completion_times
+    if not times:
+        return 0.0
+    return 100.0 * sum(1 for t in times if t <= deadline_s) / len(times)
+
+
+def test_ext_qos_deadline(benchmark):
+    n_dags = scaled_dags(PAPER_DAGS)
+    sc = Scenario(
+        name="ext-qos",
+        servers=(
+            ServerSpec("qos-deadline", "qos-deadline",
+                       algorithm_kwargs={"deadline_s": DEADLINE_S}),
+            ServerSpec("completion-time", "completion-time"),
+            ServerSpec("round-robin", "round-robin"),
+        ),
+        n_dags=n_dags,
+        seed=SEED,
+        fault_windows=(),
+        horizon_s=24 * 3600.0,
+    )
+    result = benchmark.pedantic(lambda: run_scenario(sc),
+                                rounds=1, iterations=1)
+    rows = []
+    for label in ("qos-deadline", "completion-time", "round-robin"):
+        s = result[label]
+        rows.append([label, s.avg_dag_completion_s,
+                     deadline_hits(s, DEADLINE_S)])
+    emit("ext_qos", format_table(
+        ["algorithm", "avg dag completion (s)", f"% jobs <= {DEADLINE_S:.0f}s"],
+        rows,
+        title=f"Extension: QoS deadline scheduling (fault-free), {n_dags} dags",
+    ))
+    if scale() >= 1.0:
+        # Within a couple of points of round-robin's hit rate while
+        # deliberately spreading load (not racing to the fastest site).
+        assert deadline_hits(result["qos-deadline"], DEADLINE_S) >= \
+            deadline_hits(result["round-robin"], DEADLINE_S) - 3.0
+        assert result["qos-deadline"].finished_dags == n_dags

@@ -1,0 +1,42 @@
+"""Figure 6 — site-wise job distribution vs average completion time.
+
+Paper: with the completion-time approach (6a) "the number of jobs
+scheduled on a site is inversely proportional to its average job
+completion time"; the #CPUs algorithm (6b) "does not follow the trend".
+We quantify "inversely proportional" as a Spearman rank correlation:
+strongly negative for completion-time, weaker for num-cpus.
+"""
+
+from repro.experiments import fig6_site_distribution, format_table
+
+from benchmarks.common import SEED, emit, scale, scaled_dags
+
+PAPER_DAGS = 120
+
+
+def test_fig6_site_distribution(benchmark):
+    n_dags = scaled_dags(PAPER_DAGS)
+    result, tables, correlations = benchmark.pedantic(
+        lambda: fig6_site_distribution(n_dags=n_dags, seed=SEED,
+                                       horizon_s=36 * 3600.0),
+        rounds=1, iterations=1,
+    )
+    for label in ("completion-time", "num-cpus"):
+        rows = [[site, jobs, avg] for site, jobs, avg in tables[label]]
+        sub = "a" if label == "completion-time" else "b"
+        emit(f"fig6{sub}_{label.replace('-', '_')}", format_table(
+            ["site", "# completed jobs", "avg completion (s)"], rows,
+            title=(f"Fig 6({sub}): {label}, {n_dags} dags — "
+                   f"jobs-vs-avg-completion Spearman r = "
+                   f"{correlations[label]:+.2f}"),
+        ))
+    if scale() >= 1.0:
+        # Shape: strong inverse proportionality for the hybrid (Fig 6a).
+        assert correlations["completion-time"] < -0.5
+        # num-cpus must not show a *stronger* inverse trend than the
+        # algorithm that schedules by completion time.  (In our testbed
+        # num-cpus also trends negative — feedback filtering shapes all
+        # algorithms' completion counts — so the paper's "no trend" is
+        # asserted only relatively; see EXPERIMENTS.md.)
+        assert correlations["completion-time"] <= \
+            correlations["num-cpus"] + 0.1

@@ -1,0 +1,59 @@
+"""Figure 7 — the four-way comparison under quota policy constraints.
+
+Paper: "A user's remaining usage quota defines the list of sites
+available to him ... The results obtained are similar to those without
+policy", i.e. SPHINX keeps its scheduling efficiency inside a policy-
+constrained pool.
+"""
+
+from repro.experiments import fig3_algorithms, fig7_policy, format_table
+from repro.experiments.figures import ALGORITHM_LINEUP
+
+from benchmarks.common import SEED, emit, scale, scaled_dags
+
+PAPER_DAGS = 120
+LABELS = tuple(s.label for s in ALGORITHM_LINEUP)
+
+
+def run(n_dags):
+    constrained = fig7_policy(n_dags=n_dags, seed=SEED,
+                              horizon_s=36 * 3600.0)
+    unconstrained = fig3_algorithms(n_dags=n_dags, seed=SEED,
+                                    horizon_s=36 * 3600.0)
+    return constrained, unconstrained
+
+
+def test_fig7_policy(benchmark):
+    n_dags = scaled_dags(PAPER_DAGS)
+    constrained, unconstrained = benchmark.pedantic(
+        lambda: run(n_dags), rounds=1, iterations=1,
+    )
+    rows_a, rows_b = [], []
+    for label in LABELS:
+        c, u = constrained[label], unconstrained[label]
+        rows_a.append([label, f"{c.finished_dags}/{c.total_dags}",
+                       c.avg_dag_completion_s, u.avg_dag_completion_s])
+        rows_b.append([label, c.avg_job_execution_s, c.avg_job_idle_s])
+    emit("fig7a_policy_dag_completion", format_table(
+        ["algorithm", "dags", "with policy (s)", "no policy (s)"], rows_a,
+        title=(f"Fig 7(a): avg DAG completion under per-user quotas, "
+               f"{n_dags} dags (paper: similar to the unconstrained runs)"),
+    ))
+    emit("fig7b_policy_exec_idle", format_table(
+        ["algorithm", "avg exec (s)", "avg idle (s)"], rows_b,
+        title=f"Fig 7(b): job execution/idle under quotas, {n_dags} dags",
+    ))
+    if scale() >= 1.0:
+        for label in LABELS:
+            c, u = constrained[label], unconstrained[label]
+            # The quota binds (some site hits its cap), yet the workload
+            # still completes — allowing the same rare saturation
+            # straggler the unconstrained group run exhibits...
+            assert c.finished_dags >= c.total_dags - 2, label
+            # ...at an efficiency within 2x of the unconstrained run.
+            assert c.avg_dag_completion_s < 2.0 * u.avg_dag_completion_s, label
+        # And the constraint genuinely changed placement for someone.
+        assert any(
+            constrained[label].jobs_per_site != unconstrained[label].jobs_per_site
+            for label in LABELS
+        )

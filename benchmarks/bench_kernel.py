@@ -1,0 +1,76 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Real timing benchmarks (many rounds) of the pieces everything else is
+built on: event throughput, process switching, resource contention, and
+a full Grid3 hour.  These guard against performance regressions that
+would silently make the figure benches unrunnable.
+"""
+
+from repro.sim import Environment, Resource
+from repro.sim.rng import RngStreams
+from repro.simgrid import make_grid3
+
+
+def test_event_throughput(benchmark):
+    """Schedule-and-run 10k bare timeouts."""
+
+    def run():
+        env = Environment()
+        for i in range(10_000):
+            env.timeout(float(i % 100))
+        env.run()
+        return env.event_count
+
+    assert benchmark(run) == 10_000
+
+
+def test_process_switching(benchmark):
+    """1k interleaved ticker processes, 10 switches each."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10):
+                yield env.timeout(1.0)
+
+        for _ in range(1_000):
+            env.process(ticker(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 10.0
+
+
+def test_resource_contention(benchmark):
+    """5k jobs through a 10-slot resource."""
+
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=10)
+
+        def worker(env, res):
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+
+        for _ in range(5_000):
+            env.process(worker(env, res))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 500.0
+
+
+def test_grid3_background_hour(benchmark):
+    """One simulated hour of the full Grid3 with background load."""
+
+    def run():
+        env = Environment()
+        grid = make_grid3(env, RngStreams(0))
+        env.run(until=3600.0)
+        return sum(s.running_jobs for s in grid)
+
+    running = benchmark(run)
+    assert running > 0

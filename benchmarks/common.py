@@ -1,0 +1,43 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every ``bench_fig*.py`` runs the corresponding paper experiment once
+under ``pytest-benchmark`` (rounds=1 — a full Grid3 day is not a
+microbenchmark), prints the paper-style table, saves it under
+``benchmarks/output/``, and asserts the figure's *shape* criteria.
+
+Scale control: the experiments default to the paper's workload sizes
+(30/60/120 DAGs).  Set ``REPRO_BENCH_SCALE`` to a float (e.g. ``0.25``)
+to shrink every workload proportionally for a quick pass; shape
+assertions are written to hold at full scale and are only *checked*
+when the scale is >= the threshold each bench declares.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+__all__ = ["scale", "scaled_dags", "emit", "OUTPUT_DIR", "SEED"]
+
+#: One seed for the whole evaluation, like one testbed session.
+SEED = 42
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def scale() -> float:
+    """The global workload scale factor (default 1.0 = paper scale)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled_dags(paper_n: int, minimum: int = 4) -> int:
+    """The paper's DAG count scaled by REPRO_BENCH_SCALE."""
+    return max(minimum, round(paper_n * scale()))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/output/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim exists so that editable
+# installs work on environments without the `wheel` package (legacy path).
+setup()

@@ -1,0 +1,24 @@
+"""repro — a complete reproduction of SPHINX (IPDPS 2005).
+
+SPHINX is fault-tolerant scheduling middleware for dynamic grid
+environments; this package rebuilds the system and every substrate it
+ran on as a deterministic discrete-event simulation:
+
+* :mod:`repro.sim` — the simulation kernel (events, processes,
+  resources, seeded RNG streams),
+* :mod:`repro.simgrid` — the Grid3-like testbed (sites, batch queues,
+  background load, faults, WAN),
+* :mod:`repro.workflow` — the Chimera-equivalent (file-implied DAGs,
+  workload generation, a miniature VDL),
+* :mod:`repro.services` — grid middleware (RPC, RLS, GridFTP,
+  monitoring, Condor-G, MDS),
+* :mod:`repro.core` — SPHINX itself (server, client, tracker,
+  algorithms, policies, warehouse, recovery),
+* :mod:`repro.experiments` — the evaluation harness regenerating every
+  figure of the paper.
+
+See README.md for a quickstart and ``python -m repro --help`` for the
+experiment CLI.
+"""
+
+__version__ = "1.0.0"

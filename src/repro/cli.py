@@ -1,0 +1,124 @@
+"""Command-line interface: run paper experiments from the shell.
+
+Usage::
+
+    python -m repro fig2 [--dags 30] [--seed 42]
+    python -m repro fig345 --dags 60
+    python -m repro fig6
+    python -m repro fig7
+    python -m repro fig8
+    python -m repro list-algorithms
+
+Each figure command runs the corresponding experiment and prints the
+paper-style table to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.algorithms import available_algorithms
+from repro.experiments import (
+    fig2_feedback,
+    fig3_algorithms,
+    fig6_site_distribution,
+    fig7_policy,
+    fig8_timeouts,
+    format_table,
+)
+from repro.experiments.figures import ALGORITHM_LINEUP
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser, default_dags: int) -> None:
+    p.add_argument("--dags", type=int, default=default_dags,
+                   help=f"number of DAGs (paper: {default_dags})")
+    p.add_argument("--seed", type=int, default=42, help="experiment seed")
+    p.add_argument("--horizon-hours", type=float, default=36.0,
+                   help="simulation horizon in hours")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPHINX reproduction: regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_common(sub.add_parser("fig2", help="feedback effect"), 30)
+    _add_common(sub.add_parser(
+        "fig345", help="four-way algorithm comparison"), 30)
+    _add_common(sub.add_parser(
+        "fig6", help="site-wise distribution vs avg completion"), 120)
+    _add_common(sub.add_parser("fig7", help="policy-constrained runs"), 120)
+    _add_common(sub.add_parser("fig8", help="timeout counts"), 120)
+    sub.add_parser("list-algorithms", help="show available algorithms")
+    return parser
+
+
+def _print_lineup(result, labels) -> None:
+    rows = []
+    for label in labels:
+        s = result[label]
+        rows.append([label, f"{s.finished_dags}/{s.total_dags}",
+                     s.avg_dag_completion_s, s.avg_job_execution_s,
+                     s.avg_job_idle_s, s.resubmissions, s.timeouts])
+    print(format_table(
+        ["strategy", "dags", "avg dag (s)", "avg exec (s)",
+         "avg idle (s)", "resubs", "timeouts"],
+        rows,
+    ))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    horizon = getattr(args, "horizon_hours", 36.0) * 3600.0
+
+    if args.command == "list-algorithms":
+        for name in available_algorithms():
+            print(name)
+        return 0
+
+    if args.command == "fig2":
+        result = fig2_feedback(n_dags=args.dags, seed=args.seed,
+                               horizon_s=horizon)
+        _print_lineup(result, ("round-robin+fb", "round-robin-nofb",
+                               "num-cpus+fb", "num-cpus-nofb"))
+        return 0
+
+    lineup = tuple(s.label for s in ALGORITHM_LINEUP)
+    if args.command == "fig345":
+        result = fig3_algorithms(n_dags=args.dags, seed=args.seed,
+                                 horizon_s=horizon)
+        _print_lineup(result, lineup)
+        return 0
+    if args.command == "fig6":
+        result, tables, correlations = fig6_site_distribution(
+            n_dags=args.dags, seed=args.seed, horizon_s=horizon)
+        for label, rows in tables.items():
+            print(format_table(
+                ["site", "# jobs", "avg completion (s)"],
+                [[s, j, a] for s, j, a in rows],
+                title=f"{label}: Spearman r = {correlations[label]:+.2f}",
+            ))
+            print()
+        return 0
+    if args.command == "fig7":
+        result = fig7_policy(n_dags=args.dags, seed=args.seed,
+                             horizon_s=horizon)
+        _print_lineup(result, lineup)
+        return 0
+    if args.command == "fig8":
+        result = fig8_timeouts(n_dags=args.dags, seed=args.seed,
+                               horizon_s=horizon)
+        rows = [[label, result[label].resubmissions, result[label].timeouts]
+                for label in lineup + ("num-cpus-nofb",)]
+        print(format_table(["strategy", "resubmissions", "timeouts"], rows))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

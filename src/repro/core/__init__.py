@@ -1,0 +1,42 @@
+"""SPHINX — the paper's scheduling middleware.
+
+The server (:mod:`repro.core.server`) is a control process driving a
+finite-state automaton over DAGs and jobs, with all state in the
+relational warehouse (:mod:`repro.core.warehouse`) so it is modular and
+recoverable.  The client (:mod:`repro.core.client`) is the lightweight
+agent that stages data, submits through Condor-G, and runs the job
+tracker whose reports power SPHINX's fault tolerance.
+
+Public entry points::
+
+    from repro.core import SphinxServer, SphinxClient, ServerConfig
+    from repro.core.algorithms import make_algorithm
+"""
+
+from repro.core.states import DagState, JobState
+from repro.core.warehouse import Warehouse, Table
+from repro.core.feedback import ReliabilityTracker
+from repro.core.prediction import CompletionTimeEstimator
+from repro.core.policies import PolicyEngine, QuotaExceededError
+from repro.core.dag_reducer import DagReducer
+from repro.core.server import ServerConfig, SphinxServer
+from repro.core.client import SphinxClient
+from repro.core.tracker import JobTracker
+from repro.core.recovery import recover_server
+
+__all__ = [
+    "CompletionTimeEstimator",
+    "DagReducer",
+    "DagState",
+    "JobState",
+    "JobTracker",
+    "PolicyEngine",
+    "QuotaExceededError",
+    "ReliabilityTracker",
+    "ServerConfig",
+    "SphinxClient",
+    "SphinxServer",
+    "Table",
+    "Warehouse",
+    "recover_server",
+]

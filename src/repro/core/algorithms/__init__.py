@@ -1,0 +1,37 @@
+"""Site-selection algorithms (paper §4.1).
+
+Four strategies evaluated by the paper, plus extensions:
+
+================  ==============================================  =========
+name              selection rule                                  info used
+================  ==============================================  =========
+round-robin       cycle the feasible site list                    none
+num-cpus          min (planned+unfinished)/CPUs        (eq. 1)    SPHINX-local
+queue-length      min (queued+running+planned)/CPUs    (eq. 2)    monitoring
+completion-time   min normalized Avg_comp, RR bootstrap (eq. 3)   tracker
+qos-deadline      cheapest site meeting a deadline (extension)    tracker
+================  ==============================================  =========
+
+All operate on the *feasible* pool: policy-filtered (eq. 4) and, when
+feedback is enabled, reliability-filtered.
+"""
+
+from repro.core.algorithms.base import SchedulingAlgorithm, SiteView
+from repro.core.algorithms.registry import available_algorithms, make_algorithm
+from repro.core.algorithms.round_robin import RoundRobin
+from repro.core.algorithms.num_cpus import NumCpus
+from repro.core.algorithms.queue_length import QueueLength
+from repro.core.algorithms.completion_time import CompletionTime
+from repro.core.algorithms.qos import QosDeadline
+
+__all__ = [
+    "CompletionTime",
+    "NumCpus",
+    "QosDeadline",
+    "QueueLength",
+    "RoundRobin",
+    "SchedulingAlgorithm",
+    "SiteView",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,65 @@
+"""Job-completion-time hybrid selection (paper eq. 3).
+
+    choose  argmin_{i: A_i = 1}  Avg_comp_i / sum_k Avg_comp_k
+
+"In the absence of the job completion rate information, SPHINX
+schedules jobs on round robin technique until it has that information
+for the remote sites.  Thus, it uses a hybrid approach to compensate
+for unavailability of information."
+
+Bootstrap rule implemented: while any feasible site still lacks
+completion data **and has no outstanding probe** (planned jobs), pick
+among those round-robin — every site gets sampled (giving the paper's
+Fig. 6a full site coverage), but a silent site absorbs only one probe
+instead of soaking up the whole ready set for a timeout period.  Once
+every candidate has data or a probe in flight, take the argmin of the
+predicted completion time over the sampled candidates (the estimator's
+planned-load-corrected ``Avg_comp``, falling back to the raw average
+when no prediction was supplied).  The normalization constant of eq. 3
+does not change the argmin, so it is omitted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.algorithms.base import SchedulingAlgorithm, SiteView
+
+__all__ = ["CompletionTime"]
+
+
+class CompletionTime(SchedulingAlgorithm):
+    name = "completion-time"
+
+    def __init__(self) -> None:
+        self._bootstrap_cursor = 0
+
+    def choose_site(
+        self, job_id: str, candidates: Sequence[SiteView]
+    ) -> Optional[str]:
+        if not candidates:
+            return None
+        probe_worthy = [
+            v for v in candidates
+            if v.avg_completion_s is None and v.planned_jobs == 0
+            and v.unfinished_jobs == 0
+        ]
+        if probe_worthy:
+            choice = probe_worthy[
+                self._bootstrap_cursor % len(probe_worthy)
+            ].name
+            self._bootstrap_cursor += 1
+            return choice
+
+        sampled = [v for v in candidates if v.avg_completion_s is not None]
+        if not sampled:
+            # Every candidate is an in-flight probe; wait for one to land
+            # rather than piling more jobs onto unknown sites.
+            return None
+
+        def score(v: SiteView) -> float:
+            if v.predicted_completion_s is not None:
+                return v.predicted_completion_s
+            return v.avg_completion_s  # type: ignore[return-value]
+
+        return self._argmin(sampled, score)

@@ -1,0 +1,32 @@
+"""Number-of-CPUs load-rate selection (paper eq. 1).
+
+    rate_i = (planned_jobs_i + unfinished_jobs_i) / CPU_i
+
+"utilizes resource-scheduling information of previously submitted jobs
+in a local SPHINX server" — both counts are SPHINX-local; no external
+monitoring is consulted.  The CPU count itself is the static catalog
+number, which is the paper's point: a big site may already be
+overloaded by *other* users and this algorithm cannot see that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.algorithms.base import SchedulingAlgorithm, SiteView
+
+__all__ = ["NumCpus"]
+
+
+class NumCpus(SchedulingAlgorithm):
+    name = "num-cpus"
+
+    def choose_site(
+        self, job_id: str, candidates: Sequence[SiteView]
+    ) -> Optional[str]:
+        if not candidates:
+            return None
+        return self._argmin(
+            candidates,
+            lambda v: (v.planned_jobs + v.unfinished_jobs) / v.n_cpus,
+        )

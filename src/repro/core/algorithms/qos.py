@@ -1,0 +1,61 @@
+"""QoS deadline-aware selection — the paper's stated future work.
+
+"We are also developing methods to schedule jobs with variable Quality
+of Service requirements" (§6).  This extension implements the natural
+deadline variant on top of the completion-time machinery:
+
+* among sites whose predicted completion time fits within a *safety
+  margin* of the deadline (margin < 1 guards against stale/optimistic
+  estimates), rotate round-robin — spreading deadline-safe load instead
+  of racing everything to the single fastest site, which preserves the
+  fast sites' headroom for jobs that will need it;
+* if no site can meet the deadline, degrade gracefully to the plain
+  completion-time argmin (finish as soon as possible);
+* while sites lack data, bootstrap round-robin exactly like the hybrid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.algorithms.base import SchedulingAlgorithm, SiteView
+
+__all__ = ["QosDeadline"]
+
+
+class QosDeadline(SchedulingAlgorithm):
+    name = "qos-deadline"
+
+    def __init__(self, deadline_s: float = 600.0, safety_margin: float = 0.6):
+        if deadline_s <= 0:
+            raise ValueError("deadline must be > 0")
+        if not 0.0 < safety_margin <= 1.0:
+            raise ValueError("safety margin must be in (0, 1]")
+        self.deadline_s = deadline_s
+        self.safety_margin = safety_margin
+        self._bootstrap_cursor = 0
+        self._spread_cursor = 0
+
+    def choose_site(
+        self, job_id: str, candidates: Sequence[SiteView]
+    ) -> Optional[str]:
+        if not candidates:
+            return None
+        unsampled = [v for v in candidates if v.avg_completion_s is None]
+        if unsampled:
+            choice = unsampled[self._bootstrap_cursor % len(unsampled)].name
+            self._bootstrap_cursor += 1
+            return choice
+
+        def predicted(v: SiteView) -> float:
+            if v.predicted_completion_s is not None:
+                return v.predicted_completion_s
+            return v.avg_completion_s  # type: ignore[return-value]
+
+        budget = self.safety_margin * self.deadline_s
+        feasible = [v for v in candidates if predicted(v) <= budget]
+        if feasible:
+            choice = feasible[self._spread_cursor % len(feasible)].name
+            self._spread_cursor += 1
+            return choice
+        return self._argmin(candidates, predicted)

@@ -1,0 +1,36 @@
+"""Queue-length load-rate selection (paper eq. 2).
+
+    rate_i = (queued_jobs_i + running_jobs_i + planned_jobs_i) / CPU_i
+
+queued/running come from the external monitoring service and carry its
+staleness; planned comes from the local SPHINX server.  A site whose
+snapshot is missing (never successfully polled) is treated as empty —
+the optimistic reading a 2004 scheduler had no way to avoid, and the
+precise mechanism by which blackhole sites keep attracting jobs until
+feedback removes them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.algorithms.base import SchedulingAlgorithm, SiteView
+
+__all__ = ["QueueLength"]
+
+
+class QueueLength(SchedulingAlgorithm):
+    name = "queue-length"
+
+    def choose_site(
+        self, job_id: str, candidates: Sequence[SiteView]
+    ) -> Optional[str]:
+        if not candidates:
+            return None
+
+        def rate(v: SiteView) -> float:
+            queued = v.monitored_queued if v.monitored_queued is not None else 0
+            running = v.monitored_running if v.monitored_running is not None else 0
+            return (queued + running + v.planned_jobs) / v.n_cpus
+
+        return self._argmin(candidates, rate)

@@ -1,0 +1,40 @@
+"""Algorithm registry: name -> fresh instance.
+
+Algorithms are stateful (round-robin cursors), so the registry hands
+out a new instance per call — two servers never share cursors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.algorithms.base import SchedulingAlgorithm
+from repro.core.algorithms.completion_time import CompletionTime
+from repro.core.algorithms.num_cpus import NumCpus
+from repro.core.algorithms.qos import QosDeadline
+from repro.core.algorithms.queue_length import QueueLength
+from repro.core.algorithms.round_robin import RoundRobin
+
+__all__ = ["make_algorithm", "available_algorithms"]
+
+_REGISTRY: dict[str, Callable[..., SchedulingAlgorithm]] = {
+    RoundRobin.name: RoundRobin,
+    NumCpus.name: NumCpus,
+    QueueLength.name: QueueLength,
+    CompletionTime.name: CompletionTime,
+    QosDeadline.name: QosDeadline,
+}
+
+
+def available_algorithms() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def make_algorithm(name: str, **kwargs: Any) -> SchedulingAlgorithm:
+    """A fresh instance of the named algorithm."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        )
+    return factory(**kwargs)

@@ -1,0 +1,35 @@
+"""Round-robin site selection.
+
+"Round robin scheduling algorithm tries to submit jobs in the order of
+sites in a given list.  All sites are scheduled to execute jobs without
+considering the status of the sites."  This is the paper's baseline —
+what a grid user throttling jobs by hand effectively does.
+
+The cursor advances over the *feasible* list each call, so with
+feedback enabled the rotation silently skips sites the reliability
+filter removed (the paper's "planned onto the next site in the list").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.algorithms.base import SchedulingAlgorithm, SiteView
+
+__all__ = ["RoundRobin"]
+
+
+class RoundRobin(SchedulingAlgorithm):
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose_site(
+        self, job_id: str, candidates: Sequence[SiteView]
+    ) -> Optional[str]:
+        if not candidates:
+            return None
+        choice = candidates[self._cursor % len(candidates)].name
+        self._cursor += 1
+        return choice

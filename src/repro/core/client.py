@@ -1,0 +1,260 @@
+"""The SPHINX client — the lightweight scheduling agent (paper §3.3).
+
+The client:
+
+1. receives an abstract DAG from the user (here: from the workflow
+   package) and forwards it to the server with client information;
+2. polls the server's message-handling module for planning decisions;
+3. executes each plan: stages missing input files to the execution
+   site via GridFTP, creates the submission and hands it to Condor-G;
+4. runs the **job tracker** on every submission, reporting completions
+   (with timing) and cancellations (with reason) back to the server,
+   and requesting replanning simply by reporting — the server's
+   automaton moves CANCELLED jobs back to READY;
+5. on completion, materializes the job's output files at the execution
+   site and registers them in the RLS, which is what makes downstream
+   jobs ready and future DAG reductions possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.serialize import dag_to_payload
+from repro.core.tracker import JobTracker
+from repro.services.condorg import CondorG, GridJobStatus
+from repro.services.gridftp import GridFtpService, TransferError
+from repro.services.rls import ReplicaService
+from repro.services.rpc import RpcBus, RpcFault
+from repro.sim.engine import Environment
+from repro.simgrid.vo import User
+from repro.workflow.dag import Dag
+
+__all__ = ["SphinxClient"]
+
+
+class SphinxClient:
+    """One scheduling agent bound to one server and one user."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bus: RpcBus,
+        server_service: str,
+        condorg: CondorG,
+        gridftp: GridFtpService,
+        rls: ReplicaService,
+        user: User,
+        client_id: str,
+        poll_s: float = 2.0,
+    ):
+        if poll_s <= 0:
+            raise ValueError("poll period must be > 0")
+        self.env = env
+        self.bus = bus
+        self.server_service = server_service
+        self.condorg = condorg
+        self.gridftp = gridftp
+        self.rls = rls
+        self.user = user
+        self.client_id = client_id
+        self.poll_s = poll_s
+        self.tracker = JobTracker(env, condorg)
+
+        #: dag_id -> (submitted_at, finished_at or None), measured here
+        self.dag_times: dict[str, list[Optional[float]]] = {}
+        self._grid_ids = itertools.count()
+        self.submitted_dags = 0
+        self._proc = env.process(self._poll_loop())
+
+    # -- user-facing API --------------------------------------------------------
+    def submit_dag(self, dag: Dag):
+        """A generator: sends the DAG to the server, resolves on ack."""
+        payload = dag_to_payload(dag)
+        self.dag_times[dag.dag_id] = [self.env.now, None]
+        ack = yield self.bus.call(
+            self.user.proxy,
+            self.server_service,
+            "submit_dag",
+            self.client_id,
+            self.user.proxy,
+            payload,
+            self.user.priority,
+        )
+        self.submitted_dags += 1
+        return ack
+
+    def stage_external_inputs(self, dag: Dag, home_site) -> None:
+        """Materialize a DAG's pre-existing inputs at a home site.
+
+        The experiments call this before submission so external files
+        have live replicas the planner/GridFTP can find.
+        """
+        for f in dag.external_inputs:
+            home_site.store_file(f.lfn, f.size_mb)
+            self.rls.register_replica(f.lfn, home_site.name, f.size_mb)
+
+    @property
+    def finished_dag_count(self) -> int:
+        return sum(1 for _s, f in self.dag_times.values() if f is not None)
+
+    def all_dags_finished(self) -> bool:
+        return self.submitted_dags > 0 and (
+            self.finished_dag_count == len(self.dag_times)
+        )
+
+    # -- message pump -------------------------------------------------------------
+    def _poll_loop(self):
+        while True:
+            try:
+                messages = yield self.bus.call(
+                    self.user.proxy,
+                    self.server_service,
+                    "fetch_messages",
+                    self.client_id,
+                )
+            except RpcFault:
+                messages = []  # transient server fault; retry next poll
+            for msg in messages:
+                if msg["kind"] == "plan":
+                    self.env.process(self._execute_plan(msg["payload"]))
+                elif msg["kind"] == "dag-finished":
+                    times = self.dag_times.get(msg["payload"]["dag_id"])
+                    if times is not None:
+                        times[1] = self.env.now
+            yield self.env.timeout(self.poll_s)
+
+    # -- plan execution --------------------------------------------------------------
+    def _execute_plan(self, plan: dict):
+        job_id = plan["job_id"]
+        site = plan["site"]
+        started_at = self.env.now
+
+        # 1. Stage missing inputs (planner step 3: optimal source chosen
+        #    per file inside stage_in).  Transient source outages are
+        #    retried with a backoff before giving the job back to the
+        #    planner — replanning cannot fix a missing source replica,
+        #    so bouncing plans at tick rate would only thrash.
+        staged = yield from self._stage_inputs(plan["inputs"], site)
+        if not staged:
+            # Tell the server which inputs have no live replica at all:
+            # the virtual-data model lets it re-derive them by
+            # re-running their producer jobs.
+            missing = [
+                f["lfn"] for f in plan["inputs"]
+                if not self.gridftp.has_live_replica(f["lfn"])
+            ]
+            yield from self._report_reliably(
+                job_id, "cancelled", site, reason="stage-in",
+                missing=missing,
+            )
+            return
+
+        # 2. Submit through Condor-G.  Grid ids are attempt-unique.
+        grid_id = f"{self.client_id}.{next(self._grid_ids)}.{job_id}"
+        handle = self.condorg.submit(
+            grid_id,
+            site,
+            runtime_s=plan["runtime_s"],
+            owner=self.user.proxy,
+        )
+        # Relay the RUNNING transition to the server (fire-and-forget);
+        # eq. 1's "unfinished_jobs" counter is fed by these reports.
+        handle.on_status_change(
+            lambda _h, status: (
+                self._report(job_id, "running", site)
+                if status is GridJobStatus.RUNNING
+                else None
+            )
+        )
+
+        # 3. Track to a terminal state or timeout.
+        result = yield self.env.process(
+            self.tracker.track(handle, plan["timeout_s"], started_at=started_at)
+        )
+
+        if result.outcome == "completed":
+            # 4. Outputs materialize at the execution site.
+            from repro.simgrid.site import StorageFullError
+
+            exec_site = self.gridftp.grid.site(site)
+            try:
+                for f in plan["outputs"]:
+                    exec_site.store_file(f["lfn"], f["size_mb"])
+                    self.rls.register_replica(f["lfn"], site, f["size_mb"])
+            except StorageFullError:
+                # The work is lost with its output; the site's disk is a
+                # site problem — report as an ordinary cancellation.
+                yield from self._report_reliably(
+                    job_id, "cancelled", site, reason="storage"
+                )
+                return
+            yield from self._report_reliably(
+                job_id, "completed", site,
+                completion_time_s=result.completion_time_s,
+            )
+        else:
+            yield from self._report_reliably(
+                job_id, "cancelled", site, reason=result.reason
+            )
+
+    def _stage_inputs(self, inputs: list, site: str,
+                      attempts: int = 3, backoff_s: float = 120.0):
+        """Stage every input to ``site``; True on success.
+
+        Completed files stay staged across retries (stage_in is a no-op
+        for files already local), so only the stuck transfer repeats.
+        """
+        for attempt in range(attempts):
+            try:
+                for f in inputs:
+                    yield from self.gridftp.stage_in(
+                        f["lfn"], site, self.user.proxy
+                    )
+                return True
+            except TransferError:
+                if attempt + 1 < attempts:
+                    yield self.env.timeout(backoff_s)
+        return False
+
+    def _report(self, job_id: str, status: str, site: str,
+                completion_time_s: Optional[float] = None,
+                reason: Optional[str] = None,
+                missing: Optional[list] = None):
+        """One fire-and-forget tracker report (faults are defused)."""
+        return self.bus.call(
+            self.user.proxy,
+            self.server_service,
+            "report_status",
+            job_id,
+            status,
+            site,
+            completion_time_s,
+            reason,
+            missing,
+        )
+
+    def _report_reliably(self, job_id: str, status: str, site: str,
+                         completion_time_s: Optional[float] = None,
+                         reason: Optional[str] = None,
+                         missing: Optional[list] = None):
+        """At-least-once report: retries while the server is unreachable.
+
+        A server being restarted (recovery) answers again under the same
+        service name; non-transient faults (e.g. the restored server does
+        not know this job) are given up on — the server's replanning path
+        owns those.
+        """
+        while True:
+            try:
+                ack = yield self._report(
+                    job_id, status, site,
+                    completion_time_s=completion_time_s, reason=reason,
+                    missing=missing,
+                )
+                return ack
+            except RpcFault as fault:
+                if "unknown service" not in str(fault):
+                    return None
+                yield self.env.timeout(self.poll_s)

@@ -1,0 +1,78 @@
+"""Feedback-based site reliability — SPHINX's fault-tolerance core.
+
+"The feedback provides execution status information of previously
+submitted jobs on grid sites ... Sites having more number of cancelled
+jobs than completed jobs are marked unreliable" (§4).  The job tracker
+reports every completion and cancellation; this module turns those
+reports into the *reliable-site set* the planner draws from, and into
+the availability indicator ``A_i`` of eq. 3.
+
+The tallies live in a warehouse table so they survive server recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.warehouse import Warehouse
+
+__all__ = ["ReliabilityTracker"]
+
+_COLUMNS = ("site", "completed", "cancelled")
+
+
+class ReliabilityTracker:
+    """Per-site completed/cancelled tallies + the paper's reliability rule."""
+
+    def __init__(self, warehouse: Warehouse, table_name: str = "site_feedback"):
+        self._table = (
+            warehouse.table(table_name)
+            if table_name in warehouse
+            else warehouse.create_table(table_name, _COLUMNS, key="site")
+        )
+
+    # -- report ingestion (from the job tracker) -----------------------------------
+    def record_completion(self, site: str) -> None:
+        self._bump(site, "completed")
+
+    def record_cancellation(self, site: str) -> None:
+        self._bump(site, "cancelled")
+
+    def _bump(self, site: str, column: str) -> None:
+        row = self._table.get(site)
+        if row is None:
+            row = {"site": site, "completed": 0, "cancelled": 0}
+            row[column] = 1
+            self._table.insert(row)
+        else:
+            self._table.update(site, **{column: row[column] + 1})
+
+    # -- queries (what the planner asks) ----------------------------------------------
+    def completed(self, site: str) -> int:
+        row = self._table.get(site)
+        return row["completed"] if row else 0
+
+    def cancelled(self, site: str) -> int:
+        row = self._table.get(site)
+        return row["cancelled"] if row else 0
+
+    def is_reliable(self, site: str) -> bool:
+        """The paper's rule: unreliable iff cancelled > completed.
+
+        A site with no history is reliable — new sites deserve a chance,
+        and this is what makes the round-robin bootstrap work.
+        """
+        row = self._table.get(site)
+        if row is None:
+            return True
+        return row["cancelled"] <= row["completed"]
+
+    def reliable_sites(self, sites: Iterable[str]) -> tuple[str, ...]:
+        """Filter ``sites`` to the reliable ones, preserving order."""
+        return tuple(s for s in sites if self.is_reliable(s))
+
+    def snapshot(self) -> dict[str, tuple[int, int]]:
+        """site -> (completed, cancelled), for experiment reporting."""
+        return {
+            r["site"]: (r["completed"], r["cancelled"]) for r in self._table
+        }

@@ -1,0 +1,94 @@
+"""Server crash recovery (paper §3.1: "robust and recoverable system").
+
+The server checkpoints its warehouse on a period.  After a crash,
+:func:`recover_server` builds a replacement from the last checkpoint
+under the *same service name*, so clients — which retry important
+reports while the name is unreachable — reconnect transparently.
+
+Recovery policy (documented at-least-once semantics):
+
+* **in-flight jobs requeue** — jobs that were PLANNED/SUBMITTED at the
+  checkpoint cannot be trusted: the plan message, the client execution
+  context, or the completion report may have been lost in the crash
+  window.  They are marked CANCELLED (state, not feedback — the site
+  did nothing wrong) and their quota reservations refunded; the control
+  loop replans them on its first tick.  A duplicate completion from a
+  surviving client-side attempt is absorbed by the server's duplicate
+  guard.
+* **undelivered plan messages drop** — requeuing supersedes them;
+  delivering both would run the attempt twice for nothing.
+* **dag-finished notifications keep** — idempotent for the client.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.serialize import payload_to_dag
+from repro.core.server import ServerConfig, SphinxServer
+from repro.core.states import JobState
+from repro.core.warehouse import Warehouse
+
+__all__ = ["recover_server"]
+
+_IN_FLIGHT = (JobState.PLANNED.value, JobState.SUBMITTED.value)
+
+
+def recover_server(
+    env,
+    bus,
+    config: ServerConfig,
+    site_catalog: Mapping[str, int],
+    monitoring,
+    rls,
+    checkpoint: Optional[dict],
+) -> SphinxServer:
+    """A replacement server resuming from ``checkpoint``.
+
+    ``checkpoint`` may be None (crash before the first checkpoint): the
+    replacement starts empty, and clients' pending work is lost — the
+    same truth a fresh MySQL would tell.
+    """
+    warehouse = Warehouse()
+    if checkpoint is not None:
+        warehouse.restore(checkpoint)
+        _requeue_in_flight(warehouse)
+        _drop_stale_plans(warehouse)
+    server = SphinxServer(
+        env, bus, config, site_catalog, monitoring, rls, warehouse=warehouse
+    )
+    if checkpoint is not None:
+        _refund_requeued(server)
+    return server
+
+
+def _requeue_in_flight(warehouse: Warehouse) -> None:
+    jobs = warehouse.table("jobs")
+    for row in jobs.select(predicate=lambda r: r["state"] in _IN_FLIGHT):
+        jobs.update(
+            row["job_id"],
+            state=JobState.CANCELLED.value,
+            last_status="recovered",
+        )
+
+
+def _drop_stale_plans(warehouse: Warehouse) -> None:
+    outbox = warehouse.table("outbox")
+    for msg in outbox.select(where={"kind": "plan"}):
+        outbox.delete(msg["msg_id"])
+
+
+def _refund_requeued(server: SphinxServer) -> None:
+    """Return quota reservations of requeued jobs (site column intact)."""
+    jobs = server.warehouse.table("jobs")
+    dags = server.warehouse.table("dags")
+    for row in jobs.select(where={"last_status": "recovered"}):
+        site = row["site"]
+        if site is None:
+            continue
+        drow = dags.get(row["dag_id"])
+        dag = payload_to_dag(drow["payload"])
+        server.policy.refund(
+            drow["user"], site, dag.job(row["job_id"]).requirements
+        )
+        jobs.update(row["job_id"], site=None)

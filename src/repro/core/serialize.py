@@ -1,0 +1,57 @@
+"""Wire formats: DAG and plan payloads crossing the client/server RPC.
+
+Everything crossing the bus must be XML-RPC-representable (the
+transport enforces it), so these helpers flatten workflow objects to
+plain dicts and back.  Both directions are covered by round-trip
+property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.workflow.dag import Dag, Job
+from repro.workflow.files import LogicalFile
+
+__all__ = ["dag_to_payload", "payload_to_dag", "job_to_payload", "payload_to_job"]
+
+
+def _file_to_payload(f: LogicalFile) -> dict[str, Any]:
+    return {"lfn": f.lfn, "size_mb": f.size_mb}
+
+
+def _payload_to_file(p: Mapping[str, Any]) -> LogicalFile:
+    return LogicalFile(p["lfn"], p["size_mb"])
+
+
+def job_to_payload(job: Job) -> dict[str, Any]:
+    return {
+        "job_id": job.job_id,
+        "inputs": [_file_to_payload(f) for f in job.inputs],
+        "outputs": [_file_to_payload(f) for f in job.outputs],
+        "runtime_s": job.runtime_s,
+        "executable": job.executable,
+        "requirements": dict(job.requirements),
+    }
+
+
+def payload_to_job(p: Mapping[str, Any]) -> Job:
+    return Job(
+        job_id=p["job_id"],
+        inputs=tuple(_payload_to_file(f) for f in p["inputs"]),
+        outputs=tuple(_payload_to_file(f) for f in p["outputs"]),
+        runtime_s=p["runtime_s"],
+        executable=p.get("executable", "generic-app"),
+        requirements=dict(p.get("requirements", {})),
+    )
+
+
+def dag_to_payload(dag: Dag) -> dict[str, Any]:
+    return {
+        "dag_id": dag.dag_id,
+        "jobs": [job_to_payload(dag.job(jid)) for jid in dag.job_ids],
+    }
+
+
+def payload_to_dag(p: Mapping[str, Any]) -> Dag:
+    return Dag(p["dag_id"], [payload_to_job(jp) for jp in p["jobs"]])

@@ -1,0 +1,571 @@
+"""The SPHINX server: control process + scheduling modules (paper §3.2).
+
+The server runs a periodic control loop (the "control process") that
+moves DAGs and jobs through the finite-state automaton, invoking the
+module responsible for each state:
+
+* RECEIVED dags -> **DAG reducer** (replica-aware elimination),
+* RUNNING dags  -> **planner** (ready-set selection, policy filtering,
+  feedback filtering, algorithm choice, transfer planning),
+* incoming tracker reports -> **feedback** + **prediction** updates.
+
+All state lives in warehouse tables; the server checkpoints the
+warehouse on a period, and :class:`SphinxServer.recover` builds a new
+server from the last checkpoint (paper: "easily recoverable from
+internal component failures").
+
+Client communication is message-based over the RPC bus: clients call
+``submit_dag`` / ``report_status`` and poll ``fetch_messages`` for
+planning decisions, mirroring the message-handling module's
+incoming/outgoing tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.core.algorithms import SiteView, make_algorithm
+from repro.core.dag_reducer import DagReducer
+from repro.core.feedback import ReliabilityTracker
+from repro.core.policies import PolicyEngine, QuotaExceededError
+from repro.core.prediction import CompletionTimeEstimator
+from repro.core.serialize import payload_to_dag
+from repro.core.states import DagState, JobState
+from repro.core.warehouse import Warehouse
+from repro.services.monitoring import MonitoringService
+from repro.services.rls import ReplicaService
+from repro.services.rpc import RpcBus
+from repro.sim.engine import Environment
+from repro.workflow.dag import Dag
+
+__all__ = ["ServerConfig", "SphinxServer"]
+
+
+@dataclass(slots=True)
+class ServerConfig:
+    """Tunable behaviour of one SPHINX server instance."""
+
+    name: str = "sphinx"
+    algorithm: str = "completion-time"
+    algorithm_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: feedback reliability filter on feasible sites (paper's with/without).
+    use_feedback: bool = True
+    #: control-process period.
+    tick_s: float = 5.0
+    #: client-side job timeout before cancellation + replan.
+    job_timeout_s: float = 1800.0
+    #: planned-load correction in completion-time prediction (see
+    #: repro.core.prediction); ablation knob.
+    use_prediction_correction: bool = True
+    #: "ewma" tracks the near-future environment (default); "mean" is
+    #: eq. 3 read literally; ablation knob.
+    estimator_mode: str = "ewma"
+    #: CPU-equivalents one planned job is charged as in the correction;
+    #: > 1 accounts for the transfer/queue pressure a job brings.
+    prediction_correction_strength: float = 4.0
+    #: warehouse checkpoint period; 0 disables checkpointing.
+    checkpoint_interval_s: float = 300.0
+    #: safety valve: a job cancelled more than this many times fails the
+    #: run loudly instead of looping forever.  None = unbounded (paper).
+    max_attempts: Optional[int] = None
+
+
+class SphinxServer:
+    """One SPHINX server instance, competing on a shared grid."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bus: RpcBus,
+        config: ServerConfig,
+        site_catalog: Mapping[str, int],
+        monitoring: MonitoringService,
+        rls: ReplicaService,
+        warehouse: Optional[Warehouse] = None,
+    ):
+        if not site_catalog:
+            raise ValueError("server needs at least one site in the catalog")
+        self.env = env
+        self.bus = bus
+        self.config = config
+        self.site_catalog = dict(site_catalog)
+        self.monitoring = monitoring
+        self.rls = rls
+
+        self.warehouse = warehouse if warehouse is not None else Warehouse()
+        self._init_tables()
+        self.feedback = ReliabilityTracker(self.warehouse)
+        self.estimator = CompletionTimeEstimator(
+            self.warehouse, mode=config.estimator_mode
+        )
+        self.policy = PolicyEngine(self.warehouse)
+        self.reducer = DagReducer(rls)
+        self.algorithm = make_algorithm(
+            config.algorithm, **config.algorithm_kwargs
+        )
+
+        #: live DAG objects reconstructed from payloads (cache over the
+        #: dag payload column; rebuilt lazily after recovery).
+        self._dag_cache: dict[str, Dag] = {}
+        self._msg_seq = itertools.count()
+        #: per-site (planned, running) counters kept incrementally so the
+        #: planner never scans the jobs table; rebuilt from the table on
+        #: construction, which covers recovery.
+        self._site_active: dict[str, list[int]] = {
+            s: [0, 0] for s in self.site_catalog
+        }
+        self._rebuild_site_counters()
+
+        # Counters the experiments read.
+        self.resubmission_count = 0
+        self.timeout_count = 0
+        self.stage_in_failures = 0
+        self.regeneration_count = 0
+
+        self.service_name = f"sphinx-server-{config.name}"
+        bus.register(self.service_name, "submit_dag", self._rpc_submit_dag)
+        bus.register(self.service_name, "report_status", self._rpc_report_status)
+        bus.register(self.service_name, "fetch_messages", self._rpc_fetch_messages)
+
+        self.last_checkpoint: Optional[dict] = None
+        self._proc = env.process(self._control_process())
+
+    def shutdown(self) -> None:
+        """Simulate a server crash/stop: drop off the bus, halt the loop.
+
+        The warehouse (and ``last_checkpoint``) survive the object; see
+        :mod:`repro.core.recovery` for bringing a replacement up.
+        """
+        self.bus.unregister_service(self.service_name)
+        if self._proc.is_alive:
+            self._proc.interrupt("shutdown")
+
+    # ------------------------------------------------------------------ schema
+    def _init_tables(self) -> None:
+        w = self.warehouse
+        if "dags" not in w:
+            w.create_table(
+                "dags",
+                ("dag_id", "client_id", "user", "priority", "state",
+                 "received_at", "finished_at", "payload"),
+                key="dag_id",
+            )
+        if "jobs" not in w:
+            w.create_table(
+                "jobs",
+                ("job_id", "dag_id", "state", "site", "attempts",
+                 "last_status", "planned_at", "finished_at",
+                 "completion_time_s"),
+                key="job_id",
+            )
+        if "outbox" not in w:
+            w.create_table(
+                "outbox",
+                ("msg_id", "client_id", "kind", "payload"),
+                key="msg_id",
+            )
+
+    # ------------------------------------------------------------- RPC handlers
+    def _rpc_submit_dag(self, client_id: str, user: str,
+                        dag_payload: dict, priority: int = 10) -> str:
+        """Message-handling module: accept a scheduling request.
+
+        ``priority`` is the submitting user's standing (smaller = more
+        important); the planner serves higher-priority DAGs' ready jobs
+        first within each pass.
+        """
+        dag = payload_to_dag(dag_payload)
+        dags = self.warehouse.table("dags")
+        if dag.dag_id in dags:
+            raise ValueError(f"duplicate dag {dag.dag_id!r}")
+        dags.insert({
+            "dag_id": dag.dag_id,
+            "client_id": client_id,
+            "user": user,
+            "priority": int(priority),
+            "state": DagState.RECEIVED.value,
+            "received_at": self.env.now,
+            "finished_at": None,
+            "payload": dag_payload,
+        })
+        jobs = self.warehouse.table("jobs")
+        for jid in dag.job_ids:
+            jobs.insert({
+                "job_id": jid,
+                "dag_id": dag.dag_id,
+                "state": JobState.UNPLANNED.value,
+                "site": None,
+                "attempts": 0,
+                "last_status": None,
+                "planned_at": None,
+                "finished_at": None,
+                "completion_time_s": None,
+            })
+        self._dag_cache[dag.dag_id] = dag
+        return "accepted"
+
+    def _rpc_report_status(
+        self,
+        job_id: str,
+        status: str,
+        site: str,
+        completion_time_s: Optional[float] = None,
+        reason: Optional[str] = None,
+        missing: Optional[list] = None,
+    ) -> str:
+        """Tracker report ingestion (feedback + prediction + automaton)."""
+        jobs = self.warehouse.table("jobs")
+        row = jobs.get(job_id)
+        if row is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if status == "running":
+            if (row["state"] == JobState.PLANNED.value
+                    and row["last_status"] != "running"):
+                jobs.update(job_id, state=JobState.SUBMITTED.value,
+                            last_status="running")
+                self._count_transition(site, planned=-1, running=+1)
+            elif row["state"] == JobState.SUBMITTED.value:
+                jobs.update(job_id, last_status="running")
+        elif status == "completed":
+            if row["state"] == JobState.FINISHED.value:
+                return "duplicate"
+            self._release_active(row, site)
+            jobs.update(
+                job_id,
+                state=JobState.FINISHED.value,
+                last_status="completed",
+                finished_at=self.env.now,
+                completion_time_s=completion_time_s,
+            )
+            self.feedback.record_completion(site)
+            if completion_time_s is not None:
+                self.estimator.record(site, completion_time_s)
+            self._maybe_finish_dag(row["dag_id"])
+        elif status == "cancelled":
+            if row["state"] in (JobState.FINISHED.value,
+                                JobState.CANCELLED.value):
+                return "duplicate"
+            self._release_active(row, site)
+            jobs.update(
+                job_id,
+                state=JobState.CANCELLED.value,
+                last_status=reason or "cancelled",
+                site=None,
+            )
+            if reason == "stage-in":
+                # A missing *source* replica is not the execution site's
+                # fault; penalizing it would poison the reliability pool.
+                self.stage_in_failures += 1
+                if missing:
+                    self._regenerate_lost_inputs(row["dag_id"], missing)
+            else:
+                self.feedback.record_cancellation(site)
+            self.resubmission_count += 1
+            if reason == "timeout":
+                self.timeout_count += 1
+            user = self._dag_user(row["dag_id"])
+            dag = self._dag(row["dag_id"])
+            self.policy.refund(user, site, dag.job(job_id).requirements)
+            if (self.config.max_attempts is not None
+                    and row["attempts"] >= self.config.max_attempts):
+                raise RuntimeError(
+                    f"job {job_id} exceeded {self.config.max_attempts} attempts"
+                )
+        else:
+            raise ValueError(f"unknown status {status!r}")
+        return "ok"
+
+    def _rpc_fetch_messages(self, client_id: str) -> list[dict]:
+        """Drain this client's outgoing messages, oldest first."""
+        outbox = self.warehouse.table("outbox")
+        mine = outbox.select(where={"client_id": client_id})
+        for msg in mine:
+            outbox.delete(msg["msg_id"])
+        return [
+            {"kind": m["kind"], "payload": m["payload"]} for m in mine
+        ]
+
+    # --------------------------------------------------------------- control loop
+    def _control_process(self):
+        from repro.sim import Interrupt
+
+        next_checkpoint = (
+            self.env.now + self.config.checkpoint_interval_s
+            if self.config.checkpoint_interval_s > 0
+            else None
+        )
+        while True:
+            self.tick()
+            if next_checkpoint is not None and self.env.now >= next_checkpoint:
+                self.checkpoint()
+                next_checkpoint = self.env.now + self.config.checkpoint_interval_s
+            try:
+                yield self.env.timeout(self.config.tick_s)
+            except Interrupt:
+                return  # shutdown
+
+    def tick(self) -> None:
+        """One control-process pass (public for tests and recovery)."""
+        self._reduce_new_dags()
+        self._plan_ready_jobs()
+
+    def checkpoint(self) -> None:
+        """Snapshot the warehouse (the recovery point)."""
+        self.last_checkpoint = self.warehouse.snapshot()
+
+    # --------------------------------------------------------------- DAG reducer
+    def _reduce_new_dags(self) -> None:
+        dags = self.warehouse.table("dags")
+        jobs = self.warehouse.table("jobs")
+        for row in dags.select(where={"state": DagState.RECEIVED.value}):
+            dag_id = row["dag_id"]
+            dags.update(dag_id, state=DagState.REDUCING.value)
+            dag = self._dag(dag_id)
+            removable = self.reducer.removable_jobs(dag)
+            for jid in removable:
+                jobs.update(jid, state=JobState.REMOVED.value,
+                            finished_at=self.env.now)
+            if len(removable) == len(dag):
+                dags.update(dag_id, state=DagState.FINISHED.value,
+                            finished_at=self.env.now)
+                self._notify_dag_finished(row["client_id"], dag_id)
+            else:
+                dags.update(dag_id, state=DagState.REDUCED.value)
+                dags.update(dag_id, state=DagState.RUNNING.value)
+
+    # -------------------------------------------------------------------- planner
+    def _plan_ready_jobs(self) -> None:
+        dags = self.warehouse.table("dags")
+        jobs = self.warehouse.table("jobs")
+        running = dags.select(where={"state": DagState.RUNNING.value})
+        # Serve higher-priority users first; FIFO within a priority.
+        running.sort(
+            key=lambda r: (r["priority"], r["received_at"], r["dag_id"])
+        )
+        for drow in running:
+            dag = self._dag(drow["dag_id"])
+            done = [
+                jid
+                for jid in dag.job_ids
+                if jobs.get(jid)["state"]
+                in (JobState.FINISHED.value, JobState.REMOVED.value)
+            ]
+            for jid in dag.ready_jobs(done):
+                jrow = jobs.get(jid)
+                if jrow["state"] not in (JobState.UNPLANNED.value,
+                                         JobState.CANCELLED.value):
+                    continue  # already planned/submitted
+                self._plan_job(drow, dag, jrow)
+
+    def _plan_job(self, drow: dict, dag: Dag, jrow: dict) -> None:
+        job = dag.job(jrow["job_id"])
+        user = drow["user"]
+        candidates = list(self.site_catalog)
+        candidates = list(
+            self.policy.feasible_sites(user, job.requirements, candidates)
+        )
+        if self.config.use_feedback:
+            candidates = list(self.feedback.reliable_sites(candidates))
+        if not candidates:
+            return  # nothing feasible now; retry next tick
+        views = [self._site_view(s) for s in candidates]
+        site = self.algorithm.choose_site(job.job_id, views)
+        if site is None:
+            return
+        try:
+            self.policy.charge(user, site, job.requirements)
+        except QuotaExceededError:
+            return  # racing reservations; retry next tick
+        jobs = self.warehouse.table("jobs")
+        jobs.update(
+            job.job_id,
+            state=JobState.PLANNED.value,
+            site=site,
+            attempts=jrow["attempts"] + 1,
+            planned_at=self.env.now,
+            last_status="planned",
+        )
+        self._count_transition(site, planned=+1)
+        self._send(
+            drow["client_id"],
+            "plan",
+            {
+                "job_id": job.job_id,
+                "dag_id": dag.dag_id,
+                "site": site,
+                "attempt": jrow["attempts"] + 1,
+                "runtime_s": job.runtime_s,
+                "user": user,
+                "inputs": [
+                    {"lfn": f.lfn, "size_mb": f.size_mb} for f in job.inputs
+                ],
+                "outputs": [
+                    {"lfn": f.lfn, "size_mb": f.size_mb} for f in job.outputs
+                ],
+                "timeout_s": self.config.job_timeout_s,
+            },
+        )
+
+    def _site_view(self, site: str) -> SiteView:
+        planned, unfinished = self._site_active[site]
+        snap = self.monitoring.snapshot(site)
+        n_cpus = self.site_catalog[site]
+        avg = self.estimator.average_s(site)
+        predicted = None
+        if avg is not None:
+            predicted = (
+                self.estimator.predicted_s(
+                    site, planned, n_cpus,
+                    strength=self.config.prediction_correction_strength,
+                )
+                if self.config.use_prediction_correction
+                else avg
+            )
+        return SiteView(
+            name=site,
+            n_cpus=n_cpus,
+            planned_jobs=planned,
+            unfinished_jobs=unfinished,
+            monitored_queued=snap.queued_jobs if snap else None,
+            monitored_running=snap.running_jobs if snap else None,
+            avg_completion_s=avg,
+            predicted_completion_s=predicted,
+        )
+
+    # ---------------------------------------------------- virtual-data recovery
+    def _regenerate_lost_inputs(self, dag_id: str, missing: list) -> None:
+        """Re-derive inputs whose last live replica was lost.
+
+        The virtual-data model (Chimera) records how every file is
+        produced, so a lost file is not fatal: revert its producer from
+        FINISHED back to CANCELLED and let the planner re-run it.  A
+        lost *external* input has no producer and cannot be re-derived;
+        the job keeps retrying until a replica holder resurfaces.
+        """
+        dag = self._dag(dag_id)
+        jobs = self.warehouse.table("jobs")
+        for lfn in missing:
+            producer = dag.producer_of(lfn)
+            if producer is None:
+                continue  # external input: nothing to re-derive from
+            prow = jobs.get(producer)
+            if prow is None or prow["state"] not in (
+                JobState.FINISHED.value, JobState.REMOVED.value
+            ):
+                continue  # already re-running
+            # A REMOVED producer was skipped because its output existed
+            # in the catalog at reduction time; the replica is gone now,
+            # so the skipped work must actually run.
+            jobs.update(
+                producer,
+                state=JobState.CANCELLED.value,
+                last_status="regenerate",
+                site=None,
+                finished_at=None,
+                completion_time_s=None,
+            )
+            self.regeneration_count += 1
+
+    # -------------------------------------------------------------- bookkeeping
+    def _count_transition(self, site: str, planned: int = 0,
+                          running: int = 0) -> None:
+        counters = self._site_active[site]
+        counters[0] = max(counters[0] + planned, 0)
+        counters[1] = max(counters[1] + running, 0)
+
+    def _release_active(self, row: dict, site: str) -> None:
+        """Drop a terminal job from the per-site active counters."""
+        if row["state"] == JobState.SUBMITTED.value or \
+                row["last_status"] == "running":
+            self._count_transition(site, running=-1)
+        elif row["state"] == JobState.PLANNED.value:
+            self._count_transition(site, planned=-1)
+
+    def _rebuild_site_counters(self) -> None:
+        """Reconstruct counters from the jobs table (recovery path)."""
+        for counters in self._site_active.values():
+            counters[0] = counters[1] = 0
+        for row in self.warehouse.table("jobs").select(
+            predicate=lambda r: r["state"] in (
+                JobState.PLANNED.value, JobState.SUBMITTED.value
+            )
+        ):
+            site = row["site"]
+            if site not in self._site_active:
+                continue
+            if row["last_status"] == "running":
+                self._count_transition(site, running=+1)
+            else:
+                self._count_transition(site, planned=+1)
+
+    def _maybe_finish_dag(self, dag_id: str) -> None:
+        jobs = self.warehouse.table("jobs")
+        dags = self.warehouse.table("dags")
+        dag = self._dag(dag_id)
+        remaining = [
+            jid
+            for jid in dag.job_ids
+            if jobs.get(jid)["state"] not in (
+                JobState.FINISHED.value, JobState.REMOVED.value
+            )
+        ]
+        if remaining:
+            return
+        drow = dags.get(dag_id)
+        if drow["state"] == DagState.FINISHED.value:
+            return
+        dags.update(dag_id, state=DagState.FINISHED.value,
+                    finished_at=self.env.now)
+        self._notify_dag_finished(drow["client_id"], dag_id)
+
+    def _notify_dag_finished(self, client_id: str, dag_id: str) -> None:
+        self._send(client_id, "dag-finished", {"dag_id": dag_id})
+
+    def _send(self, client_id: str, kind: str, payload: dict) -> None:
+        self.warehouse.table("outbox").insert({
+            "msg_id": f"m{next(self._msg_seq):08d}",
+            "client_id": client_id,
+            "kind": kind,
+            "payload": payload,
+        })
+
+    def _dag(self, dag_id: str) -> Dag:
+        dag = self._dag_cache.get(dag_id)
+        if dag is None:
+            row = self.warehouse.table("dags").get(dag_id)
+            dag = payload_to_dag(row["payload"])
+            self._dag_cache[dag_id] = dag
+        return dag
+
+    def _dag_user(self, dag_id: str) -> str:
+        return self.warehouse.table("dags").get(dag_id)["user"]
+
+    # ------------------------------------------------------------ experiment API
+    def dag_completion_times(self) -> dict[str, float]:
+        """dag_id -> completion seconds for every finished DAG."""
+        out = {}
+        for row in self.warehouse.table("dags").select(
+            where={"state": DagState.FINISHED.value}
+        ):
+            out[row["dag_id"]] = row["finished_at"] - row["received_at"]
+        return out
+
+    def unfinished_dags(self) -> tuple[str, ...]:
+        return tuple(
+            r["dag_id"]
+            for r in self.warehouse.table("dags").select(
+                predicate=lambda r: r["state"] != DagState.FINISHED.value
+            )
+        )
+
+    def jobs_per_site(self) -> dict[str, int]:
+        """site -> completed-job count (Fig. 6 series)."""
+        counts: dict[str, int] = {}
+        for row in self.warehouse.table("jobs").select(
+            where={"state": JobState.FINISHED.value}
+        ):
+            if row["site"] is not None:
+                counts[row["site"]] = counts.get(row["site"], 0) + 1
+        return counts

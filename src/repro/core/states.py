@@ -1,0 +1,103 @@
+"""The scheduling finite-state automaton (paper §3.2).
+
+"SPHINX adapts finite automaton for scheduling status management.  The
+scheduler moves a DAG through predefined states to complete resource
+allocation to the jobs in the DAG."  Each server module owns one or two
+transitions; the control process wakes the module responsible for
+whatever state an entity is in.
+
+DAG automaton::
+
+    RECEIVED -> REDUCING -> REDUCED -> RUNNING -> FINISHED
+
+Job automaton::
+
+    UNPLANNED -> READY -> PLANNED -> SUBMITTED -> FINISHED
+        ^                    |           |            |
+        |  (replan after     v           v            | (output lost:
+        +---- cancel) --- CANCELLED <----+------------+  re-derive)
+    (REMOVED: eliminated by the DAG reducer, terminal)
+
+FINISHED is *almost* terminal: when a finished job's output loses its
+last live replica (the site holding it died for good), the virtual-data
+model says the file can simply be re-derived — the server reverts the
+producer to CANCELLED and replans it.
+
+Transitions are validated: an illegal move raises
+:class:`IllegalTransitionError`, which in a scheduler is always a logic
+bug worth failing loudly on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DagState", "JobState", "IllegalTransitionError"]
+
+
+class IllegalTransitionError(RuntimeError):
+    """An entity was asked to move along an edge the automaton lacks."""
+
+
+class DagState(enum.Enum):
+    RECEIVED = "received"    # arrived from a client, not yet examined
+    REDUCING = "reducing"    # DAG reducer checking the replica catalog
+    REDUCED = "reduced"      # reduction done; ready for planning
+    RUNNING = "running"      # jobs being planned/executed
+    FINISHED = "finished"    # every job finished (or removed)
+
+    @property
+    def terminal(self) -> bool:
+        return self is DagState.FINISHED
+
+
+_DAG_EDGES = {
+    DagState.RECEIVED: {DagState.REDUCING},
+    DagState.REDUCING: {DagState.REDUCED, DagState.FINISHED},
+    DagState.REDUCED: {DagState.RUNNING},
+    DagState.RUNNING: {DagState.FINISHED},
+    DagState.FINISHED: set(),
+}
+
+
+class JobState(enum.Enum):
+    UNPLANNED = "unplanned"  # waiting for input availability
+    READY = "ready"          # inputs available; awaiting a site decision
+    PLANNED = "planned"      # site chosen; plan sent to the client
+    SUBMITTED = "submitted"  # client staged data and handed to Condor-G
+    FINISHED = "finished"    # completed; outputs registered
+    CANCELLED = "cancelled"  # failed / timed out; awaiting replan
+    REMOVED = "removed"      # eliminated by the DAG reducer
+
+    @property
+    def terminal(self) -> bool:
+        """Done for dependency purposes (a FINISHED job may still be
+        re-derived later if its output is lost)."""
+        return self in (JobState.FINISHED, JobState.REMOVED)
+
+    @property
+    def active(self) -> bool:
+        """Counts toward a site's SPHINX-local load (eqs. 1-2)."""
+        return self in (JobState.PLANNED, JobState.SUBMITTED)
+
+
+_JOB_EDGES = {
+    JobState.UNPLANNED: {JobState.READY, JobState.REMOVED},
+    JobState.READY: {JobState.PLANNED},
+    JobState.PLANNED: {JobState.SUBMITTED, JobState.CANCELLED,
+                       JobState.FINISHED},
+    JobState.SUBMITTED: {JobState.FINISHED, JobState.CANCELLED},
+    JobState.CANCELLED: {JobState.READY},
+    JobState.FINISHED: {JobState.CANCELLED},  # lost output: re-derive
+    JobState.REMOVED: {JobState.CANCELLED},   # reduced away, then lost
+}
+
+
+def check_dag_transition(old: DagState, new: DagState) -> None:
+    if new not in _DAG_EDGES[old]:
+        raise IllegalTransitionError(f"dag cannot move {old.value} -> {new.value}")
+
+
+def check_job_transition(old: JobState, new: JobState) -> None:
+    if new not in _JOB_EDGES[old]:
+        raise IllegalTransitionError(f"job cannot move {old.value} -> {new.value}")

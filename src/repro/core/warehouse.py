@@ -1,0 +1,162 @@
+"""The data warehouse — SPHINX's relational state store.
+
+"The SPHINX server adopts database infrastructure to manage scheduling
+procedure.  Database tables support inter-process communication among
+scheduling modules ... It also supports fault tolerance by making the
+system easily recoverable from internal component failures" (§3.1).
+
+:class:`Warehouse` is an in-memory relational store with:
+
+* named :class:`Table` objects (declared columns, primary key),
+* insert / update / delete / query with equality predicates,
+* **snapshot & restore** — the recovery mechanism: the server
+  checkpoints the warehouse periodically; after a crash a new server
+  restores the snapshot and resumes from the last durable state
+  (exercised by :mod:`repro.core.recovery` tests).
+
+Rows are plain dicts of scalars; snapshots deep-copy, so a restored
+warehouse shares nothing with the crashed one.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+__all__ = ["Warehouse", "Table", "WarehouseError"]
+
+
+class WarehouseError(RuntimeError):
+    """Schema violations, duplicate keys, missing rows."""
+
+
+class Table:
+    """One relational table with a declared schema and primary key."""
+
+    def __init__(self, name: str, columns: Iterable[str], key: str):
+        self.name = name
+        self.columns = tuple(columns)
+        if key not in self.columns:
+            raise WarehouseError(f"key {key!r} not among columns of {name!r}")
+        self.key = key
+        self._rows: dict[Any, dict[str, Any]] = {}
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, row: Mapping[str, Any]) -> None:
+        extra = set(row) - set(self.columns)
+        if extra:
+            raise WarehouseError(f"{self.name}: unknown columns {sorted(extra)}")
+        missing = set(self.columns) - set(row)
+        if missing:
+            raise WarehouseError(f"{self.name}: missing columns {sorted(missing)}")
+        k = row[self.key]
+        if k in self._rows:
+            raise WarehouseError(f"{self.name}: duplicate key {k!r}")
+        self._rows[k] = dict(row)
+
+    def update(self, key: Any, **changes: Any) -> dict[str, Any]:
+        row = self._rows.get(key)
+        if row is None:
+            raise WarehouseError(f"{self.name}: no row with key {key!r}")
+        extra = set(changes) - set(self.columns)
+        if extra:
+            raise WarehouseError(f"{self.name}: unknown columns {sorted(extra)}")
+        if self.key in changes and changes[self.key] != key:
+            raise WarehouseError(f"{self.name}: cannot change the primary key")
+        row.update(changes)
+        return dict(row)
+
+    def upsert(self, row: Mapping[str, Any]) -> None:
+        k = row[self.key]
+        if k in self._rows:
+            self.update(k, **{c: v for c, v in row.items() if c != self.key})
+        else:
+            self.insert(row)
+
+    def delete(self, key: Any) -> bool:
+        return self._rows.pop(key, None) is not None
+
+    # -- queries ------------------------------------------------------------------
+    def get(self, key: Any) -> Optional[dict[str, Any]]:
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def select(
+        self,
+        where: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Callable[[dict[str, Any]], bool]] = None,
+    ) -> list[dict[str, Any]]:
+        """Rows matching all equality conditions and the predicate,
+        in insertion order (deterministic)."""
+        out = []
+        for row in self._rows.values():
+            if where and any(row.get(c) != v for c, v in where.items()):
+                continue
+            if predicate and not predicate(row):
+                continue
+            out.append(dict(row))
+        return out
+
+    def count(self, where: Optional[Mapping[str, Any]] = None) -> int:
+        return len(self.select(where))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._rows
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return (dict(r) for r in self._rows.values())
+
+
+class Warehouse:
+    """A named collection of tables with snapshot/restore."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Iterable[str], key: str) -> Table:
+        if name in self._tables:
+            raise WarehouseError(f"table {name!r} already exists")
+        table = Table(name, columns, key)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        t = self._tables.get(name)
+        if t is None:
+            raise WarehouseError(f"no table {name!r}")
+        return t
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    # -- recovery -----------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A deep, self-contained checkpoint of every table."""
+        return {
+            "tables": {
+                name: {
+                    "columns": t.columns,
+                    "key": t.key,
+                    "rows": copy.deepcopy(list(t._rows.values())),
+                }
+                for name, t in self._tables.items()
+            }
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Replace all contents with a snapshot's (crash recovery)."""
+        tables = snapshot.get("tables")
+        if tables is None:
+            raise WarehouseError("malformed snapshot: no 'tables' entry")
+        self._tables = {}
+        for name, spec in tables.items():
+            t = self.create_table(name, spec["columns"], spec["key"])
+            for row in copy.deepcopy(spec["rows"]):
+                t.insert(row)

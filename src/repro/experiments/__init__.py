@@ -1,0 +1,44 @@
+"""Evaluation harness — regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.scenarios` — scenario/server specifications
+  and the default Grid3 fault script,
+* :mod:`repro.experiments.runner` — assembles the full stack (grid +
+  services + N concurrent SPHINX servers competing for the same
+  resources, the paper's pair/group-wise protocol) and runs it,
+* :mod:`repro.experiments.metrics` — per-server result extraction,
+* :mod:`repro.experiments.figures` — one driver per paper figure,
+* :mod:`repro.experiments.report` — plain-text tables for the bench
+  harness and EXPERIMENTS.md.
+"""
+
+from repro.experiments.scenarios import (
+    Scenario,
+    ServerSpec,
+    default_fault_windows,
+)
+from repro.experiments.runner import ExperimentResult, ServerResult, run_scenario
+from repro.experiments.figures import (
+    fig2_feedback,
+    fig3_algorithms,
+    fig5_pairwise,
+    fig6_site_distribution,
+    fig7_policy,
+    fig8_timeouts,
+)
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "Scenario",
+    "ServerResult",
+    "ServerSpec",
+    "default_fault_windows",
+    "fig2_feedback",
+    "fig3_algorithms",
+    "fig5_pairwise",
+    "fig6_site_distribution",
+    "fig7_policy",
+    "fig8_timeouts",
+    "format_table",
+    "run_scenario",
+]

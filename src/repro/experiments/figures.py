@@ -1,0 +1,191 @@
+"""Per-figure experiment drivers.
+
+Each function assembles the scenario the corresponding paper figure
+used, runs it, and returns both the raw :class:`ExperimentResult` and
+the figure's headline series.  ``n_dags`` defaults to the paper's
+value but is a parameter so tests and quick benchmarks can run scaled-
+down versions with the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.metrics import rank_correlation, site_distribution_table
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.experiments.scenarios import Scenario, ServerSpec
+
+__all__ = [
+    "fig2_feedback",
+    "fig3_algorithms",
+    "fig5_pairwise",
+    "fig6_site_distribution",
+    "fig7_policy",
+    "fig8_timeouts",
+    "ALGORITHM_LINEUP",
+]
+
+#: The paper's four-way comparison, with feedback (Figs. 3-5, 7).
+ALGORITHM_LINEUP: tuple[ServerSpec, ...] = (
+    ServerSpec("completion-time", "completion-time"),
+    ServerSpec("queue-length", "queue-length"),
+    ServerSpec("num-cpus", "num-cpus"),
+    ServerSpec("round-robin", "round-robin"),
+)
+
+
+def fig2_feedback(n_dags: int = 30, seed: int = 42,
+                  horizon_s: float = 24 * 3600.0) -> ExperimentResult:
+    """Fig. 2: round-robin and #CPUs, each with and without feedback.
+
+    Expected shape: each with-feedback variant beats its without-
+    feedback twin on average DAG completion time (paper: by 20-29%).
+    """
+    scenario = Scenario(
+        name=f"fig2-{n_dags}dags",
+        servers=(
+            ServerSpec("round-robin+fb", "round-robin", use_feedback=True),
+            ServerSpec("round-robin-nofb", "round-robin", use_feedback=False),
+            ServerSpec("num-cpus+fb", "num-cpus", use_feedback=True),
+            ServerSpec("num-cpus-nofb", "num-cpus", use_feedback=False),
+        ),
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+    return run_scenario(scenario)
+
+
+def fig3_algorithms(n_dags: int = 30, seed: int = 42,
+                    horizon_s: float = 24 * 3600.0) -> ExperimentResult:
+    """Figs. 3 (30 DAGs), 4 (60), 5 (120): the four-way comparison.
+
+    Expected shape: completion-time wins average DAG completion, and
+    its margin grows with load (17% at 30 DAGs -> 33-50% at 60-120);
+    its jobs also spend less idle (queue) time.
+    """
+    scenario = Scenario(
+        name=f"fig345-{n_dags}dags",
+        servers=ALGORITHM_LINEUP,
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+    return run_scenario(scenario)
+
+
+def fig5_pairwise(n_dags: int = 120, seed: int = 42,
+                  horizon_s: float = 36 * 3600.0) -> dict:
+    """Fig. 5 via the paper's *pair-wise* protocol.
+
+    At 120 DAGs a four-way group run doubles the SPHINX-side grid load
+    relative to pair-wise runs and pushes the simulated testbed into
+    saturation; the paper notes comparisons were made "in the pair-wise
+    or group-wise approach".  Here the completion-time hybrid meets
+    each rival head-to-head on an otherwise identical grid.
+
+    Returns ``{rival_label: ExperimentResult}`` — each result holds the
+    hybrid and that rival under equal conditions.
+    """
+    results = {}
+    for rival in ("queue-length", "num-cpus", "round-robin"):
+        scenario = Scenario(
+            name=f"fig5-pair-{rival}-{n_dags}dags",
+            servers=(
+                ServerSpec("completion-time", "completion-time"),
+                ServerSpec(rival, rival),
+            ),
+            n_dags=n_dags,
+            seed=seed,
+            horizon_s=horizon_s,
+        )
+        results[rival] = run_scenario(scenario)
+    return results
+
+
+def fig6_site_distribution(n_dags: int = 120, seed: int = 42,
+                           horizon_s: float = 24 * 3600.0):
+    """Fig. 6: per-site job distribution vs avg completion time.
+
+    Returns ``(result, tables, correlations)`` where ``tables[label]``
+    holds (site, jobs, avg-completion) rows and ``correlations[label]``
+    the Spearman rank correlation between the two series.  Expected
+    shape: strongly negative for completion-time (inverse proportional,
+    Fig. 6a); weak/indifferent for num-cpus (Fig. 6b).
+    """
+    scenario = Scenario(
+        name=f"fig6-{n_dags}dags",
+        servers=(
+            ServerSpec("completion-time", "completion-time"),
+            ServerSpec("num-cpus", "num-cpus"),
+        ),
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+    result = run_scenario(scenario)
+    tables = {}
+    correlations = {}
+    for label, server in result.servers.items():
+        rows = site_distribution_table(
+            server.jobs_per_site, server.avg_completion_per_site
+        )
+        tables[label] = rows
+        usable = [(jobs, avg) for _s, jobs, avg in rows if avg == avg]
+        if len(usable) >= 2:
+            correlations[label] = rank_correlation(
+                [j for j, _a in usable], [a for _j, a in usable]
+            )
+        else:
+            correlations[label] = float("nan")
+    return result, tables, correlations
+
+
+def fig7_policy(n_dags: int = 120, seed: int = 42,
+                horizon_s: float = 24 * 3600.0,
+                cpu_quota_s: Optional[float] = None) -> ExperimentResult:
+    """Fig. 7: the four-way comparison under per-user usage quotas.
+
+    Every job demands its nominal CPU-seconds; each user holds a per-
+    site CPU-second quota sized so no single site can absorb the whole
+    workload — the quota genuinely constrains placement.  Expected
+    shape: per-algorithm results within a modest factor of the
+    unconstrained run (the paper: "similar to those without policy").
+    """
+    if cpu_quota_s is None:
+        # Each job needs 60 CPU-seconds; a site may take at most 15% of
+        # one user's total demand, so the quota genuinely forces the
+        # scheduler to spread (no site can absorb more than 180 of a
+        # 1200-job campaign).
+        cpu_quota_s = 0.15 * n_dags * 10 * 60.0
+    scenario = Scenario(
+        name=f"fig7-{n_dags}dags",
+        servers=ALGORITHM_LINEUP,
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+        job_requirements={"cpu_seconds": 60.0},
+        quota_per_site={"cpu_seconds": cpu_quota_s},
+    )
+    return run_scenario(scenario)
+
+
+def fig8_timeouts(n_dags: int = 120, seed: int = 42,
+                  horizon_s: float = 24 * 3600.0) -> ExperimentResult:
+    """Fig. 8: rescheduling (timeout) counts per strategy.
+
+    The paper's series: completion-time 125, round-robin(+fb) 154,
+    ... and #CPUs *without* feedback 2258.  Expected shape: the
+    without-feedback variant resubmits an order of magnitude more than
+    the feedback-driven strategies.
+    """
+    scenario = Scenario(
+        name=f"fig8-{n_dags}dags",
+        servers=ALGORITHM_LINEUP + (
+            ServerSpec("num-cpus-nofb", "num-cpus", use_feedback=False),
+        ),
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+    return run_scenario(scenario)

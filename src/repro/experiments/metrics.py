@@ -1,0 +1,75 @@
+"""Metric helpers shared by figures, tests, and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "improvement_pct",
+    "rank_correlation",
+    "site_distribution_table",
+]
+
+
+def improvement_pct(better: float, worse: float) -> float:
+    """How much smaller ``better`` is than ``worse``, in percent.
+
+    The paper quotes e.g. "less than the other cases by about 20~29%".
+    """
+    if worse <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (worse - better) / worse
+
+
+def rank_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (no scipy dependency in the library).
+
+    Used for Fig. 6: the completion-time algorithm should show a strong
+    *negative* correlation between per-site job count and per-site
+    average completion time.
+    """
+    if len(x) != len(y):
+        raise ValueError("sequences must align")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    rx = _tied_ranks(np.asarray(x, dtype=float))
+    ry = _tied_ranks(np.asarray(y, dtype=float))
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx**2).sum() * (ry**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((rx * ry).sum() / denom)
+
+
+def _tied_ranks(values: np.ndarray) -> np.ndarray:
+    """0-based ranks with ties assigned their average rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0
+        i = j + 1
+    return ranks
+
+
+def site_distribution_table(
+    jobs_per_site: Mapping[str, int],
+    avg_completion_per_site: Mapping[str, float],
+) -> list[tuple[str, int, float]]:
+    """Rows of (site, completed jobs, avg completion s), Fig. 6 style.
+
+    Only sites that completed at least one job appear (matching the
+    paper's plots, which show the sites each algorithm actually used).
+    """
+    rows = []
+    for site in sorted(jobs_per_site):
+        rows.append(
+            (site, jobs_per_site[site], avg_completion_per_site.get(site, float("nan")))
+        )
+    return rows

@@ -1,0 +1,232 @@
+"""Experiment runner: the full stack, N servers competing, one grid.
+
+Protocol (paper §4.2): every server variant gets its *own* SPHINX
+server + client + workload, but all submit into the *same* simulated
+grid at the same time, so they contend for CPUs, queues, and bandwidth
+exactly like the paper's concurrently-started server instances.
+
+Workloads are structurally identical across servers: each server's
+generator is seeded with the same scenario seed, so DAG shapes, job
+runtimes, and file sizes match; only the id prefix (and hence LFNs)
+differ, keeping replica catalogs disjoint.
+
+External input files are pre-staged round-robin across the grid's
+sites, so most jobs must move at least one input — the paper's
+"including the time to transfer remotely located input files onto the
+site it is expected that each job will take about three or four
+minutes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.client import SphinxClient
+from repro.core.server import ServerConfig, SphinxServer
+from repro.experiments.scenarios import Scenario, ServerSpec
+from repro.services.condorg import CondorG
+from repro.services.gridftp import GridFtpService
+from repro.services.monitoring import MonitoringService
+from repro.services.rls import ReplicaService
+from repro.services.rpc import RpcBus
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+from repro.simgrid.grid import Grid, make_grid3
+from repro.simgrid.vo import User, VirtualOrganization
+from repro.workflow.generator import WorkloadGenerator
+
+__all__ = ["run_scenario", "ExperimentResult", "ServerResult"]
+
+
+@dataclass(slots=True)
+class ServerResult:
+    """Everything the figures need from one server variant."""
+
+    label: str
+    algorithm: str
+    use_feedback: bool
+    finished_dags: int
+    total_dags: int
+    #: dag_id -> seconds (only finished DAGs)
+    dag_completion_times: dict[str, float]
+    #: elapsed seconds of dags still unfinished at run end (censored
+    #: observations — a scheduler that cannot finish a DAG must not get
+    #: a *better* average for it)
+    censored_dag_times: list[float]
+    job_completion_times: list[float]
+    job_idle_times: list[float]
+    job_execution_times: list[float]
+    resubmissions: int
+    timeouts: int
+    jobs_per_site: dict[str, int]
+    avg_completion_per_site: dict[str, float]
+    feedback_snapshot: dict[str, tuple[int, int]]
+
+    @property
+    def avg_dag_completion_s(self) -> float:
+        """Mean over all DAGs; unfinished ones enter at their censored
+        (run-end) elapsed time, a lower bound on their true cost."""
+        values = list(self.dag_completion_times.values()) + \
+            list(self.censored_dag_times)
+        if not values:
+            return float("nan")
+        return float(np.mean(values))
+
+    @property
+    def avg_job_execution_s(self) -> float:
+        if not self.job_execution_times:
+            return float("nan")
+        return float(np.mean(self.job_execution_times))
+
+    @property
+    def avg_job_idle_s(self) -> float:
+        if not self.job_idle_times:
+            return float("nan")
+        return float(np.mean(self.job_idle_times))
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    scenario_name: str
+    horizon_reached: bool
+    elapsed_sim_s: float
+    servers: dict[str, ServerResult] = field(default_factory=dict)
+
+    def __getitem__(self, label: str) -> ServerResult:
+        return self.servers[label]
+
+
+def _build_server(
+    env: Environment,
+    bus: RpcBus,
+    scenario: Scenario,
+    spec: ServerSpec,
+    grid: Grid,
+    monitoring: MonitoringService,
+    rls: ReplicaService,
+) -> SphinxServer:
+    config = ServerConfig(
+        name=spec.label,
+        algorithm=spec.algorithm,
+        algorithm_kwargs=dict(spec.algorithm_kwargs),
+        use_feedback=spec.use_feedback,
+        tick_s=scenario.tick_s,
+        job_timeout_s=scenario.job_timeout_s,
+        use_prediction_correction=spec.use_prediction_correction,
+        estimator_mode=spec.estimator_mode,
+        prediction_correction_strength=spec.prediction_correction_strength,
+        checkpoint_interval_s=0.0,  # recovery is exercised separately
+    )
+    # Servers read the *advertised* catalog — the static information a
+    # 2004 scheduler actually had, which may overstate usable capacity.
+    return SphinxServer(env, bus, config, grid.advertised_catalog,
+                        monitoring, rls)
+
+
+def run_scenario(scenario: Scenario,
+                 env: Optional[Environment] = None) -> ExperimentResult:
+    """Run one scenario to completion (or its horizon)."""
+    env = env or Environment()
+    rng = RngStreams(scenario.seed)
+    grid = make_grid3(env, rng, sites=scenario.sites,
+                      background=scenario.background)
+    grid.failures.schedule_windows(scenario.resolved_fault_windows())
+
+    bus = RpcBus(env)
+    rls = ReplicaService(env, grid.site_names)
+    gridftp = GridFtpService(env, grid, rls)
+    condorg = CondorG(env, grid)
+    monitoring = MonitoringService(
+        env, grid, update_interval_s=scenario.monitoring_interval_s
+    )
+
+    vo = VirtualOrganization("repro")
+    site_cycle = list(grid.site_names)
+    clients: dict[str, SphinxClient] = {}
+    servers: dict[str, SphinxServer] = {}
+
+    for idx, spec in enumerate(scenario.servers):
+        server = _build_server(env, bus, scenario, spec, grid, monitoring, rls)
+        user = User(f"user-{spec.label}", vo)
+        _configure_policy(server, user, scenario, grid)
+        client = SphinxClient(
+            env, bus, server.service_name, condorg, gridftp, rls,
+            user, client_id=f"client-{spec.label}", poll_s=scenario.poll_s,
+        )
+        servers[spec.label] = server
+        clients[spec.label] = client
+
+        # Identical workload structure per server: same seed, own prefix.
+        gen = WorkloadGenerator(RngStreams(scenario.seed).stream("workload"))
+        dags = gen.generate(scenario.workload_spec(), name_prefix=spec.label)
+        for j, dag in enumerate(dags):
+            # External inputs get TWO replicas at distinct sites — input
+            # datasets lived on replicated storage elements; a single
+            # site death must not erase a campaign's inputs.
+            home = grid.site(site_cycle[(idx + j) % len(site_cycle)])
+            backup = grid.site(
+                site_cycle[(idx + j + len(site_cycle) // 2) % len(site_cycle)]
+            )
+            client.stage_external_inputs(dag, home)
+            client.stage_external_inputs(dag, backup)
+            env.process(client.submit_dag(dag))
+
+    # Drive until every client's DAGs finish or the horizon hits.  The
+    # watchdog process settles when all work is done, so the run stops
+    # early instead of simulating background load to the horizon.
+    done_flag = []
+
+    def _watchdog(env):
+        while True:
+            if all(c.all_dags_finished() for c in clients.values()):
+                done_flag.append(env.now)
+                return
+            yield env.timeout(60.0)
+
+    watchdog = env.process(_watchdog(env))
+    env.run(until=env.any_of([watchdog, env.timeout(scenario.horizon_s)]))
+
+    result = ExperimentResult(
+        scenario_name=scenario.name,
+        horizon_reached=not done_flag,
+        elapsed_sim_s=done_flag[0] if done_flag else scenario.horizon_s,
+    )
+    for spec in scenario.servers:
+        server = servers[spec.label]
+        client = clients[spec.label]
+        dags_table = server.warehouse.table("dags")
+        censored = [
+            result.elapsed_sim_s - dags_table.get(dag_id)["received_at"]
+            for dag_id in server.unfinished_dags()
+        ]
+        result.servers[spec.label] = ServerResult(
+            label=spec.label,
+            algorithm=spec.algorithm,
+            use_feedback=spec.use_feedback,
+            finished_dags=client.finished_dag_count,
+            total_dags=scenario.n_dags,
+            dag_completion_times=server.dag_completion_times(),
+            censored_dag_times=censored,
+            job_completion_times=list(client.tracker.stats.completion_times),
+            job_idle_times=list(client.tracker.stats.idle_times),
+            job_execution_times=list(client.tracker.stats.execution_times),
+            resubmissions=server.resubmission_count,
+            timeouts=server.timeout_count,
+            jobs_per_site=server.jobs_per_site(),
+            avg_completion_per_site=server.estimator.snapshot(),
+            feedback_snapshot=server.feedback.snapshot(),
+        )
+    return result
+
+
+def _configure_policy(server: SphinxServer, user: User,
+                      scenario: Scenario, grid: Grid) -> None:
+    if scenario.quota_per_site is None:
+        server.policy.grant_unlimited(user.proxy)
+        return
+    for site in grid.site_names:
+        for resource, amount in scenario.quota_per_site.items():
+            server.policy.grant(user.proxy, site, resource, amount)

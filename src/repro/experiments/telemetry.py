@@ -1,0 +1,105 @@
+"""Time-series telemetry for experiment runs.
+
+Samples site-level state (queue depth, running jobs, utilization,
+fault state) on a fixed period, producing the utilization timelines
+used for debugging scheduler dynamics and for the site-load figures.
+Kept separate from :mod:`repro.services.monitoring` on purpose: this is
+the *experimenter's* omniscient probe, not the in-band monitoring
+system the schedulers see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.engine import Environment
+from repro.simgrid.grid import Grid
+
+__all__ = ["GridTelemetry", "SiteSeries"]
+
+
+@dataclass(slots=True)
+class SiteSeries:
+    """Sampled time series for one site (parallel arrays)."""
+
+    site: str
+    times: np.ndarray
+    queued: np.ndarray
+    running: np.ndarray
+    utilization: np.ndarray
+    up: np.ndarray  # bool: not DOWN at sample time
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(self.utilization.mean()) if len(self.times) else 0.0
+
+    @property
+    def peak_queue(self) -> int:
+        return int(self.queued.max()) if len(self.times) else 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of samples where the site was not DOWN."""
+        return float(self.up.mean()) if len(self.times) else 1.0
+
+
+class GridTelemetry:
+    """Samples every site of a grid on a period."""
+
+    def __init__(self, env: Environment, grid: Grid,
+                 sample_interval_s: float = 60.0):
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be > 0")
+        self.env = env
+        self.grid = grid
+        self.sample_interval_s = sample_interval_s
+        self._times: list[float] = []
+        self._rows: dict[str, list[tuple[int, int, float, bool]]] = {
+            s.name: [] for s in grid
+        }
+        env.process(self._sampler())
+
+    def _sampler(self):
+        from repro.simgrid.site import SiteState
+
+        while True:
+            self._times.append(self.env.now)
+            for site in self.grid:
+                self._rows[site.name].append((
+                    site.queued_jobs,
+                    site.running_jobs,
+                    site.scheduler.utilization,
+                    site.state is not SiteState.DOWN,
+                ))
+            yield self.env.timeout(self.sample_interval_s)
+
+    # -- extraction ---------------------------------------------------------------
+    @property
+    def sample_count(self) -> int:
+        return len(self._times)
+
+    def series(self, site: str) -> SiteSeries:
+        rows = self._rows[site]
+        if not rows:
+            return SiteSeries(site, np.array([]), np.array([], dtype=int),
+                              np.array([], dtype=int), np.array([]),
+                              np.array([], dtype=bool))
+        arr = np.array([(q, r, u, up) for q, r, u, up in rows], dtype=float)
+        return SiteSeries(
+            site=site,
+            times=np.array(self._times),
+            queued=arr[:, 0].astype(int),
+            running=arr[:, 1].astype(int),
+            utilization=arr[:, 2],
+            up=arr[:, 3].astype(bool),
+        )
+
+    def summary(self) -> list[tuple[str, float, int, float]]:
+        """(site, mean utilization, peak queue, availability) per site."""
+        return [
+            (name, s.mean_utilization, s.peak_queue, s.availability)
+            for name in self._rows
+            for s in [self.series(name)]
+        ]

@@ -1,0 +1,176 @@
+"""Condor-G / DAGMan — the grid job submission and control layer.
+
+The SPHINX *client* does not talk to sites directly; it hands a job
+description to Condor-G, which submits through the site's gatekeeper
+and reports grid-level job states back.  This module reproduces that
+contract:
+
+* :meth:`CondorG.submit` — submit a job to a named site; returns a
+  :class:`GridJobHandle` whose status moves through::
+
+      IDLE -> RUNNING -> COMPLETED
+        |        |
+        +--------+--> KILLED / HELD / FAILED
+
+  ``FAILED`` covers submission-time failures (gatekeeper unreachable —
+  the site is DOWN), which real Condor-G would surface as a held job
+  after retries; we surface it promptly so the tracker can replan.
+* :meth:`CondorG.cancel` — condor_rm against the remote batch system.
+* status-change callbacks — what the SPHINX job tracker subscribes to.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.sim.engine import Environment
+from repro.simgrid.grid import Grid
+from repro.simgrid.local_scheduler import SiteJob, SiteJobStatus
+from repro.simgrid.site import SiteUnavailableError
+
+__all__ = ["CondorG", "GridJobHandle", "GridJobStatus"]
+
+
+class GridJobStatus(enum.Enum):
+    """Grid-level job state, as Condor-G reports it."""
+
+    IDLE = "idle"            # submitted, waiting in the remote queue
+    RUNNING = "running"
+    COMPLETED = "completed"
+    HELD = "held"            # stopped at the site, needs intervention
+    KILLED = "killed"        # removed (site crash or condor_rm)
+    FAILED = "failed"        # never reached the remote queue
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            GridJobStatus.COMPLETED,
+            GridJobStatus.HELD,
+            GridJobStatus.KILLED,
+            GridJobStatus.FAILED,
+        )
+
+
+_SITE_TO_GRID = {
+    SiteJobStatus.PENDING: GridJobStatus.IDLE,
+    SiteJobStatus.RUNNING: GridJobStatus.RUNNING,
+    SiteJobStatus.COMPLETED: GridJobStatus.COMPLETED,
+    SiteJobStatus.KILLED: GridJobStatus.KILLED,
+    SiteJobStatus.HELD: GridJobStatus.HELD,
+}
+
+
+class GridJobHandle:
+    """What the submitter holds: status, timings, and change callbacks."""
+
+    def __init__(self, env: Environment, job_id: str, site: str, owner: str):
+        self.env = env
+        self.job_id = job_id
+        self.site = site
+        self.owner = owner
+        self.status = GridJobStatus.IDLE
+        self.submitted_at = env.now
+        self.finished_at: Optional[float] = None
+        self._site_job: Optional[SiteJob] = None
+        self._watchers: list[Callable[["GridJobHandle", GridJobStatus], None]] = []
+
+    def on_status_change(
+        self, callback: Callable[["GridJobHandle", GridJobStatus], None]
+    ) -> None:
+        self._watchers.append(callback)
+
+    # -- timing passthroughs -----------------------------------------------------
+    @property
+    def idle_time_s(self) -> Optional[float]:
+        return self._site_job.idle_time_s if self._site_job else None
+
+    @property
+    def execution_time_s(self) -> Optional[float]:
+        return self._site_job.execution_time_s if self._site_job else None
+
+    @property
+    def completion_time_s(self) -> Optional[float]:
+        """Submission -> completion, as the SPHINX tracker measures it."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    # -- internals -------------------------------------------------------------------
+    def _update(self, status: GridJobStatus) -> None:
+        if self.status is status:
+            return
+        self.status = status
+        if status.terminal:
+            self.finished_at = self.env.now
+        for cb in list(self._watchers):
+            cb(self, status)
+
+
+class CondorG:
+    """Submission/cancel front end over the simulated grid."""
+
+    def __init__(self, env: Environment, grid: Grid):
+        self.env = env
+        self.grid = grid
+        self._handles: dict[str, GridJobHandle] = {}
+        self.submitted_count = 0
+        self.failed_submissions = 0
+
+    def submit(
+        self,
+        job_id: str,
+        site: str,
+        runtime_s: float,
+        owner: str = "anonymous",
+        priority: Optional[int] = None,
+    ) -> GridJobHandle:
+        """Submit a job to ``site``; always returns a handle.
+
+        A dead gatekeeper yields a handle in status FAILED (never an
+        exception) so callers have one uniform tracking path.
+        """
+        if job_id in self._handles:
+            raise ValueError(f"duplicate grid job id {job_id!r}")
+        if site not in self.grid:
+            raise KeyError(f"unknown site {site!r}")
+        handle = GridJobHandle(self.env, job_id, site, owner)
+        self._handles[job_id] = handle
+        self.submitted_count += 1
+        try:
+            site_job = self.grid.site(site).submit(
+                job_id, runtime_s=runtime_s, owner=owner, priority=priority
+            )
+        except SiteUnavailableError:
+            self.failed_submissions += 1
+            handle._update(GridJobStatus.FAILED)
+            return handle
+        handle._site_job = site_job
+        site_job.on_status_change(
+            lambda _j, _old, new: handle._update(_SITE_TO_GRID[new])
+        )
+        return handle
+
+    def cancel(self, job_id: str) -> bool:
+        """condor_rm: remove the job from the remote site.
+
+        Returns False when already terminal or never submitted.
+        """
+        handle = self._handles.get(job_id)
+        if handle is None:
+            raise KeyError(f"unknown grid job {job_id!r}")
+        if handle.status.terminal:
+            return False
+        return self.grid.site(handle.site).kill(job_id)
+
+    def handle(self, job_id: str) -> GridJobHandle:
+        return self._handles[job_id]
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._handles
+
+    @property
+    def active_jobs(self) -> tuple[GridJobHandle, ...]:
+        return tuple(
+            h for h in self._handles.values() if not h.status.terminal
+        )

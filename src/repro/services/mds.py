@@ -1,0 +1,111 @@
+"""Information catalog service — the Globus MDS / GIIS equivalent.
+
+Grid schedulers got their *static* site information (CPU counts,
+storage, gatekeeper contact strings) from an information index that
+sites registered into.  Two properties mattered and are modelled:
+
+* **Self-reported** — a site's entry says whatever the site registered
+  (typically the whole cluster size), not what a grid user can actually
+  get; the ``advertised_cpus`` / ``n_cpus`` split of the testbed flows
+  through here.
+* **Registration decay** — entries have a time-to-live; a site that
+  stops refreshing (e.g. while down) eventually drops out of queries,
+  so a long-dead site disappears from the catalog while a blackhole —
+  whose registration daemon keeps running — does not.
+
+``SphinxServer`` can be fed directly from :meth:`site_catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.engine import Environment
+
+__all__ = ["InformationService", "SiteRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class SiteRecord:
+    """One registered site entry (what the site *claims*)."""
+
+    site: str
+    cpus: int
+    storage_mb: float
+    registered_at: float
+
+    def expired(self, now: float, ttl_s: float) -> bool:
+        return now - self.registered_at > ttl_s
+
+
+class InformationService:
+    """TTL-based registry of self-reported site records."""
+
+    def __init__(self, env: Environment, ttl_s: float = 1800.0):
+        if ttl_s <= 0:
+            raise ValueError("ttl must be > 0")
+        self.env = env
+        self.ttl_s = ttl_s
+        self._records: dict[str, SiteRecord] = {}
+
+    # -- registration (sites call this periodically) ---------------------------
+    def register(self, site: str, cpus: int, storage_mb: float = 0.0) -> None:
+        if cpus < 1:
+            raise ValueError("cpus must be >= 1")
+        if storage_mb < 0:
+            raise ValueError("storage must be >= 0")
+        self._records[site] = SiteRecord(
+            site=site, cpus=cpus, storage_mb=storage_mb,
+            registered_at=self.env.now,
+        )
+
+    def start_refresher(self, grid, interval_s: float = 600.0) -> None:
+        """Register every live site now and keep refreshing on a period.
+
+        DOWN sites skip their refresh (their daemon is dead) and decay
+        out; BLACKHOLE sites keep refreshing — that is their danger.
+        """
+        from repro.simgrid.site import SiteState
+
+        advertised = grid.advertised_catalog
+
+        def refresher(env):
+            while True:
+                for site in grid:
+                    if site.state is SiteState.DOWN:
+                        continue
+                    self.register(site.name, advertised[site.name],
+                                  storage_mb=site.stored_mb)
+                yield env.timeout(interval_s)
+
+        self.env.process(refresher(self.env))
+
+    # -- queries ------------------------------------------------------------------
+    def lookup(self, site: str) -> Optional[SiteRecord]:
+        rec = self._records.get(site)
+        if rec is None or rec.expired(self.env.now, self.ttl_s):
+            return None
+        return rec
+
+    def live_records(self) -> tuple[SiteRecord, ...]:
+        """All unexpired records, registration order."""
+        return tuple(
+            r for r in self._records.values()
+            if not r.expired(self.env.now, self.ttl_s)
+        )
+
+    def site_catalog(self) -> dict[str, int]:
+        """site -> advertised CPUs, the mapping SphinxServer consumes."""
+        return {r.site: r.cpus for r in self.live_records()}
+
+    def expose(self, bus) -> None:
+        """Register query methods on an RPC bus as service ``mds``."""
+        bus.register("mds", "site_catalog", self.site_catalog)
+        bus.register(
+            "mds", "lookup",
+            lambda site: (
+                {"site": r.site, "cpus": r.cpus, "storage_mb": r.storage_mb}
+                if (r := self.lookup(site)) is not None else None
+            ),
+        )

@@ -1,0 +1,179 @@
+"""GSI-enabled RPC transport — the Clarens / XML-RPC equivalent.
+
+SPHINX components communicate exclusively through "GSI-enabled XML-RPC
+services" (paper Fig. 1).  This module reproduces the properties of that
+transport that matter to a scheduling study:
+
+* **Serialization boundary** — payloads must be XML-RPC-representable
+  (numbers, strings, booleans, None, lists, dicts with string keys).
+  Passing live objects through is a bug this layer catches, exactly as
+  a real wire format would.
+* **Latency** — every call costs a round trip; the planner's decisions
+  are made against slightly old client state, like on a real WAN.
+* **Authentication** — callers present a GSI proxy subject; services
+  may restrict methods to an ACL of proxies or whole VOs.
+
+Services register named methods on a :class:`RpcBus`; callers invoke
+them and receive an :class:`~repro.sim.engine.Event` with the result
+(or a defusable :class:`RpcFault`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.engine import Environment, Event
+
+__all__ = ["RpcBus", "RpcFault"]
+
+
+class RpcFault(RuntimeError):
+    """A remote fault: unknown service/method, auth failure, or a
+    handler exception (carried as ``cause``)."""
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_serializable(value: Any, path: str = "payload") -> None:
+    """Reject values XML-RPC could not carry."""
+    if isinstance(value, _SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _check_serializable(item, f"{path}[{i}]")
+        return
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise RpcFault(f"{path}: dict key {k!r} is not a string")
+            _check_serializable(v, f"{path}[{k!r}]")
+        return
+    raise RpcFault(f"{path}: {type(value).__name__} is not RPC-serializable")
+
+
+class _Service:
+    def __init__(self, name: str):
+        self.name = name
+        self.methods: dict[str, Callable[..., Any]] = {}
+        self.allowed_proxies: Optional[set[str]] = None
+        self.allowed_vos: Optional[set[str]] = None
+
+    def authorize(self, proxy: str) -> bool:
+        if self.allowed_proxies is None and self.allowed_vos is None:
+            return True
+        if self.allowed_proxies and proxy in self.allowed_proxies:
+            return True
+        if self.allowed_vos:
+            # proxies look like /VO=<vo>/CN=<name>
+            for vo in self.allowed_vos:
+                if proxy.startswith(f"/VO={vo}/"):
+                    return True
+        return False
+
+
+class RpcBus:
+    """Registry + dispatcher for in-simulation RPC services."""
+
+    def __init__(self, env: Environment, latency_s: float = 0.05):
+        if latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        self.env = env
+        self.latency_s = latency_s
+        self._services: dict[str, _Service] = {}
+        #: total calls dispatched (for experiment accounting)
+        self.call_count = 0
+
+    # -- registration -----------------------------------------------------------
+    def register(
+        self,
+        service: str,
+        method: str,
+        handler: Callable[..., Any],
+        allowed_proxies: Optional[Iterable[str]] = None,
+        allowed_vos: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Expose ``handler`` as ``service.method``.
+
+        ACLs are per-service: the last registration's ACL arguments, if
+        given, replace the service's ACL.
+        """
+        svc = self._services.get(service)
+        if svc is None:
+            svc = self._services[service] = _Service(service)
+        if method in svc.methods:
+            raise ValueError(f"{service}.{method} already registered")
+        svc.methods[method] = handler
+        if allowed_proxies is not None:
+            svc.allowed_proxies = set(allowed_proxies)
+        if allowed_vos is not None:
+            svc.allowed_vos = set(allowed_vos)
+
+    def unregister_service(self, service: str) -> bool:
+        """Remove a whole service (a server shutting down).
+
+        Subsequent calls fault with "unknown service", which clients
+        treat as transient — a recovered server re-registers the name.
+        """
+        return self._services.pop(service, None) is not None
+
+    def services(self) -> tuple[str, ...]:
+        return tuple(sorted(self._services))
+
+    # -- invocation ----------------------------------------------------------------
+    def call(self, proxy: str, service: str, method: str, *args: Any,
+             **kwargs: Any) -> Event:
+        """Invoke ``service.method`` as ``proxy``.
+
+        Returns an event that fires with the handler's return value
+        after a round trip, or fails with :class:`RpcFault`.  The fault
+        is pre-defused: a caller that ignores the result won't crash
+        the simulation, matching fire-and-forget RPC semantics.
+        """
+        self.call_count += 1
+        result = self.env.event()
+
+        def _dispatch(_ev):
+            try:
+                svc = self._services.get(service)
+                if svc is None:
+                    raise RpcFault(f"unknown service {service!r}")
+                handler = svc.methods.get(method)
+                if handler is None:
+                    raise RpcFault(f"unknown method {service}.{method}")
+                if not svc.authorize(proxy):
+                    raise RpcFault(
+                        f"proxy {proxy!r} not authorized for {service}"
+                    )
+                _check_serializable(list(args), "args")
+                _check_serializable(dict(kwargs), "kwargs")
+                value = handler(*args, **kwargs)
+                _check_serializable(value, "result")
+            except RpcFault as fault:
+                self._deliver(result, fault)
+                return
+            except Exception as exc:  # handler bug -> remote fault
+                self._deliver(
+                    result, RpcFault(f"{service}.{method} raised: {exc}", exc)
+                )
+                return
+            self._deliver(result, None, value)
+
+        # One-way latency to the server, dispatch, then latency back.
+        self.env.timeout(self.latency_s).add_callback(_dispatch)
+        return result
+
+    def _deliver(self, result: Event, fault: Optional[RpcFault],
+                 value: Any = None) -> None:
+        def _finish(_ev):
+            if fault is not None:
+                result.fail(fault)
+                result.defuse()
+            else:
+                result.succeed(value)
+
+        self.env.timeout(self.latency_s).add_callback(_finish)

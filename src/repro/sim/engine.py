@@ -1,0 +1,327 @@
+"""Event loop and core event types for the simulation kernel.
+
+The kernel is deliberately small: an :class:`Environment` owns a monotone
+clock and a binary heap of pending events.  Everything else (processes,
+resources, the grid) is built on three operations:
+
+* ``env.schedule(event, delay)`` — enqueue an event,
+* ``event.succeed(value)`` / ``event.fail(exc)`` — settle an event,
+* ``event.add_callback(fn)`` — run ``fn(event)`` when the event settles.
+
+Determinism contract
+--------------------
+Events scheduled for the same timestamp fire in (priority, insertion
+order).  No iteration over sets or dicts decides ordering anywhere in the
+kernel, so a fixed seed yields a bit-identical trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "PENDING",
+    "NORMAL",
+    "URGENT",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-settle, running a dead loop...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Sentinel for "event not settled yet".
+PENDING = object()
+
+#: Priorities: URGENT events at a timestamp fire before NORMAL ones.  Used
+#: by the kernel to make process resumption happen before newly scheduled
+#: work at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence with a value or an exception.
+
+    Events move through three states: pending (not scheduled), triggered
+    (scheduled on the heap, value decided), processed (callbacks ran).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and sits on the event heap."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("value of a pending event is undefined")
+        return self._value
+
+    # -- settling --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Settle the event successfully and schedule its callbacks."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Settle the event with an exception.
+
+        If no callback *defuses* the failure (a process waiting on it),
+        the exception propagates out of :meth:`Environment.run` — silent
+        failures are bugs in a scheduler study.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(self)`` when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run at the current instant, urgently, so
+            # late subscribers still observe the settled value.
+            wrapper = Event(self.env)
+            wrapper.add_callback(lambda _e: fn(self))
+            wrapper.succeed(priority=URGENT)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at t={self.env.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._done = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+            ev.add_callback(self._check)
+        if not self._events:
+            self.succeed({})
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count: a Timeout carries its value from
+        # construction, so `triggered` alone would leak future values.
+        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+
+    def _check(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its constituent events fires."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            if not ev.ok:
+                ev.defuse()
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all of its constituent events have fired."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            if not ev.ok:
+                ev.defuse()
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """Owns the simulation clock and the pending-event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: number of events processed so far (profiling / debugging aid)
+        self.event_count = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds by convention)."""
+        return self._now
+
+    # -- scheduling primitives --------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Put a settled (or pre-valued) event on the heap."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def event(self) -> Event:
+        """A fresh, unsettled event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Spawn a generator as a simulation process."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- main loop ---------------------------------------------------------
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``inf`` when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = when
+        self.event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the loop.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain,
+        * a number — run until the clock would pass that time,
+        * an :class:`Event` — run until that event is processed and return
+          its value (raising its exception if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            finished = []
+            sentinel.add_callback(lambda ev: finished.append(ev))
+            while self._heap and not finished:
+                self.step()
+            if not finished:
+                raise SimulationError(
+                    "run(until=event) exhausted the event heap before the "
+                    "target event fired"
+                )
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"cannot run until {horizon} < now {self._now}")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,105 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: every value the generator
+yields must be an :class:`~repro.sim.engine.Event`; the process suspends
+until that event settles and is resumed with the event's value (or the
+event's exception thrown in).  The process itself is an event that settles
+with the generator's return value, so processes compose (a process can
+``yield`` another process to join it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Event, Interrupt, SimulationError, URGENT
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """Wraps a generator as a schedulable, interruptible process."""
+
+    __slots__ = ("_generator", "_target", "_interrupted_away_from", "name")
+
+    def __init__(self, env, generator: Generator[Event, Any, Any], name: str | None = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        self._interrupted_away_from: Event | None = None
+        self.name = name or getattr(generator, "__name__", type(generator).__name__)
+        # Kick off at the current instant, after already-queued events.
+        boot = Event(env)
+        boot.add_callback(self._resume)
+        boot.succeed(priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is about to be resumed this instant is allowed and wins over
+        the pending resumption.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._target is not None:
+            # We cannot cheaply remove our callback from the awaited event;
+            # instead remember it so the stale resume is ignored when it fires.
+            self._interrupted_away_from, self._target = self._target, None
+        kick = Event(self.env)
+        kick.add_callback(lambda _e: self._step(throw=Interrupt(cause)))
+        kick.succeed(priority=URGENT)
+
+    # -- internals --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self._target is not None and event is not self._target:
+            # A stale wake-up from an event we were interrupted away from.
+            if not event.ok:
+                event.defuse()
+            return
+        if self._interrupted_away_from is event:
+            if not event.ok:
+                event.defuse()
+            self._interrupted_away_from = None
+            return
+        self._target = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            event.defuse()
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        if self.triggered:
+            return
+        try:
+            if throw is not None:
+                yielded = self._generator.throw(throw)
+            else:
+                yielded = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+
+        if not isinstance(yielded, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {yielded!r}; processes may "
+                f"only yield Events"
+            )
+            self.fail(err)
+            return
+        if yielded.env is not self.env:
+            self.fail(SimulationError("yielded event belongs to another environment"))
+            return
+        self._target = yielded
+        yielded.add_callback(self._resume)

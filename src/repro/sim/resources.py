@@ -1,0 +1,169 @@
+"""Contention primitives: counted resources and object stores.
+
+* :class:`Resource` — N interchangeable slots (e.g. the CPUs of a grid
+  site).  Requests queue FIFO (optionally by priority) and are granted as
+  slots free up.
+* :class:`Store` — an unbounded FIFO buffer of objects (e.g. a message
+  queue between the SPHINX client and server).
+* :class:`PriorityStore` — a store whose ``get`` returns the smallest item
+  (used for batch queues ordered by priority/arrival).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Store", "PriorityStore"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Yields to the requesting process once granted.  Use as a context token:
+    the holder must eventually call ``resource.release(request)``.
+    """
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """``capacity`` interchangeable slots with a FIFO/priority wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = int(capacity)
+        self._users: list[Request] = []
+        self._queue: list[tuple[int, int, Request]] = []
+        self._counter = itertools.count()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self, priority)
+        heapq.heappush(self._queue, (priority, next(self._counter), req))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("release() of a request that does not hold a slot")
+        self._grant()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        for i, (_p, _c, queued) in enumerate(self._queue):
+            if queued is request:
+                self._queue.pop(i)
+                heapq.heapify(self._queue)
+                return
+        raise SimulationError("cancel() of a request that is not queued")
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity at runtime (models CPUs going on/offline).
+
+        Shrinking never evicts current holders; it only throttles grants.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self._capacity = int(capacity)
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            _p, _c, req = heapq.heappop(self._queue)
+            self._users.append(req)
+            req.succeed(req)
+
+
+class Store:
+    """Unbounded FIFO buffer with blocking ``get``."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> Event:
+        """An event that fires with the next item."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _pop(self) -> Any:
+        return self._items.pop(0)
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(self._pop())
+
+
+class PriorityStore(Store):
+    """A store whose ``get`` yields the smallest buffered item."""
+
+    def __init__(self, env: Environment, key: Optional[Callable[[Any], Any]] = None):
+        super().__init__(env)
+        self._key = key
+        self._counter = itertools.count()
+        self._heap: list[tuple[Any, int, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> tuple:
+        return tuple(item for _k, _c, item in sorted(self._heap))
+
+    def put(self, item: Any) -> None:
+        key = self._key(item) if self._key else item
+        heapq.heappush(self._heap, (key, next(self._counter), item))
+        self._dispatch()
+
+    def _pop(self) -> Any:
+        return heapq.heappop(self._heap)[2]
+
+    def _dispatch(self) -> None:
+        while self._heap and self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(self._pop())

@@ -1,0 +1,164 @@
+"""Competing background load on grid sites.
+
+Grid3 was shared by seven applications; from any one scheduler's point
+of view, the others are exogenous load that fills batch queues and
+steals CPU slots.  The paper stresses that "the site with more number
+of CPUs might already be overloaded" — this module produces exactly
+that situation.
+
+:class:`BackgroundLoad` runs a Poisson arrival process per site.  The
+arrival rate is expressed as a *target utilization* so configurations
+stay meaningful across sites of different sizes, and can be modulated
+over time with a day/night-style sinusoid to keep the environment
+dynamic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+from repro.simgrid.site import GridSite, SiteState, SiteUnavailableError
+
+__all__ = ["BackgroundLoad"]
+
+
+class BackgroundLoad:
+    """Poisson background job stream against one site.
+
+    Parameters
+    ----------
+    target_utilization:
+        Long-run fraction of the site's CPUs the background stream
+        tries to keep busy (0 disables it).
+    mean_runtime_s:
+        Mean background-job length (exponential).
+    modulation_amplitude / modulation_period_s:
+        Optional sinusoidal modulation of the arrival rate, so site
+        load genuinely changes over the experiment.
+    priority:
+        Batch priority of background jobs (10 = same class as grid
+        users; the local batch queue is FIFO within a class).
+    surge_interval_s / surge_jobs_factor / surge_runtime_s:
+        Occasionally another VO dumps a whole production batch on the
+        site — ``surge_jobs_factor * n_cpus`` jobs at once, each of
+        exponential mean ``surge_runtime_s`` — saturating the queue for
+        hours.  These sustained saturation events, common on Grid3, are
+        what make static capacity numbers useless (paper §2: "the site
+        with more number of CPUs might already be overloaded").
+        ``surge_interval_s`` is the mean time between surges per site;
+        0 disables them.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: RngStreams,
+        site: GridSite,
+        target_utilization: float = 0.5,
+        mean_runtime_s: float = 300.0,
+        modulation_amplitude: float = 0.0,
+        modulation_period_s: float = 6 * 3600.0,
+        priority: int = 10,
+        surge_interval_s: float = 0.0,
+        surge_jobs_factor: float = 1.5,
+        surge_runtime_s: float = 1800.0,
+    ):
+        if not 0.0 <= target_utilization < 1.0:
+            raise ValueError("target utilization must be in [0, 1)")
+        if mean_runtime_s <= 0:
+            raise ValueError("mean runtime must be > 0")
+        if not 0.0 <= modulation_amplitude <= 1.0:
+            raise ValueError("modulation amplitude must be in [0, 1]")
+        if surge_interval_s < 0 or surge_jobs_factor <= 0 or surge_runtime_s <= 0:
+            raise ValueError("invalid surge parameters")
+        self.env = env
+        self.site = site
+        self.target_utilization = target_utilization
+        self.mean_runtime_s = mean_runtime_s
+        self.modulation_amplitude = modulation_amplitude
+        self.modulation_period_s = modulation_period_s
+        self.priority = priority
+        self.surge_interval_s = surge_interval_s
+        self.surge_jobs_factor = surge_jobs_factor
+        self.surge_runtime_s = surge_runtime_s
+        self.surges = 0
+        self._rng = rng.stream(f"background-{site.name}")
+        #: random phase so sites peak at different times — the grid's
+        #: load ordering genuinely changes over a run, which is what
+        #: makes static capacity information misleading (paper §2).
+        self._phase_offset = float(self._rng.uniform(0.0, 2.0 * np.pi))
+        self._ids = itertools.count()
+        self.submitted = 0
+        self._proc: Optional[object] = None
+
+    def start(self) -> None:
+        """Begin generating load (idempotent)."""
+        if self.target_utilization == 0.0 or self._proc is not None:
+            return
+        self._proc = self.env.process(self._generate())
+        if self.surge_interval_s > 0:
+            self.env.process(self._surge_loop())
+
+    # -- internals --------------------------------------------------------------
+    def _rate_per_s(self) -> float:
+        """Instantaneous arrival rate lambda(t) in jobs/second."""
+        base = (
+            self.target_utilization
+            * self.site.n_cpus
+            / self.mean_runtime_s
+        )
+        if self.modulation_amplitude == 0.0:
+            return base
+        phase = (2.0 * np.pi * self.env.now / self.modulation_period_s
+                 + self._phase_offset)
+        return base * (1.0 + self.modulation_amplitude * np.sin(phase))
+
+    def _generate(self):
+        while True:
+            rate = self._rate_per_s()
+            if rate <= 0:
+                yield self.env.timeout(60.0)
+                continue
+            yield self.env.timeout(float(self._rng.exponential(1.0 / rate)))
+            if self.site.state is SiteState.DOWN:
+                continue  # gatekeeper down; local users also locked out
+            runtime = float(self._rng.exponential(self.mean_runtime_s))
+            job_id = f"bg.{self.site.name}.{next(self._ids)}"
+            try:
+                self.site.submit(
+                    job_id,
+                    runtime_s=max(runtime, 1.0),
+                    owner="/VO=local/CN=background",
+                    priority=self.priority,
+                )
+            except SiteUnavailableError:
+                continue
+            self.submitted += 1
+
+    def _surge_loop(self):
+        while True:
+            yield self.env.timeout(
+                float(self._rng.exponential(self.surge_interval_s))
+            )
+            if self.site.state is SiteState.DOWN:
+                continue
+            self.surges += 1
+            n_jobs = max(1, int(self.surge_jobs_factor * self.site.n_cpus))
+            for _ in range(n_jobs):
+                runtime = float(self._rng.exponential(self.surge_runtime_s))
+                job_id = f"surge.{self.site.name}.{next(self._ids)}"
+                try:
+                    self.site.submit(
+                        job_id,
+                        runtime_s=max(runtime, 1.0),
+                        owner="/VO=local/CN=surge",
+                        priority=self.priority,
+                    )
+                except SiteUnavailableError:
+                    break
+                self.submitted += 1

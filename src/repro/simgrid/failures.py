@@ -1,0 +1,122 @@
+"""Fault injection for grid sites.
+
+Two injection styles:
+
+* **Scripted** — a list of :class:`DowntimeWindow` entries, each putting
+  a site into a given failure state for a fixed interval.  Used by the
+  experiment scenarios so paired algorithm runs see *identical* faults.
+* **Stochastic** — an MTBF/MTTR renewal process per site, for long-run
+  availability studies and property tests.
+
+Both run as simulation processes and restore sites to UP afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+from repro.simgrid.site import GridSite, SiteState
+
+__all__ = ["DowntimeWindow", "FailureInjector"]
+
+
+@dataclass(frozen=True, slots=True)
+class DowntimeWindow:
+    """One scripted fault: ``site`` enters ``state`` during [start, end)."""
+
+    site: str
+    start_s: float
+    end_s: float
+    state: SiteState = SiteState.DOWN
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise ValueError(
+                f"invalid window [{self.start_s}, {self.end_s}) for {self.site}"
+            )
+        if self.state is SiteState.UP:
+            raise ValueError("a downtime window cannot inject state UP")
+
+
+class FailureInjector:
+    """Applies scripted windows and/or stochastic failures to sites."""
+
+    def __init__(self, env: Environment, sites: dict[str, GridSite]):
+        self.env = env
+        self._sites = sites
+        #: injected transitions [(time, site, state)] for post-run analysis
+        self.log: list[tuple[float, str, SiteState]] = []
+
+    # -- scripted faults -------------------------------------------------------
+    def schedule_windows(self, windows: Iterable[DowntimeWindow]) -> None:
+        """Install scripted fault windows (may overlap across sites).
+
+        Overlapping windows on the *same* site are rejected: their
+        restore actions would race and the resulting state would depend
+        on event ordering rather than the scenario author's intent.
+        """
+        windows = sorted(windows, key=lambda w: (w.site, w.start_s))
+        for a, b in zip(windows, windows[1:]):
+            if a.site == b.site and b.start_s < a.end_s:
+                raise ValueError(
+                    f"overlapping windows on {a.site}: "
+                    f"[{a.start_s},{a.end_s}) and [{b.start_s},{b.end_s})"
+                )
+        for w in windows:
+            if w.site not in self._sites:
+                raise KeyError(f"unknown site {w.site!r}")
+            self.env.process(self._apply_window(w))
+
+    def _apply_window(self, w: DowntimeWindow):
+        if w.start_s > self.env.now:
+            yield self.env.timeout(w.start_s - self.env.now)
+        site = self._sites[w.site]
+        site.set_state(w.state)
+        self.log.append((self.env.now, w.site, w.state))
+        yield self.env.timeout(w.end_s - w.start_s)
+        site.set_state(SiteState.UP)
+        self.log.append((self.env.now, w.site, SiteState.UP))
+
+    # -- stochastic faults ---------------------------------------------------------
+    def start_stochastic(
+        self,
+        rng: RngStreams,
+        site_names: Sequence[str] | None = None,
+        mtbf_s: float = 12 * 3600.0,
+        mttr_s: float = 1800.0,
+        states: Sequence[SiteState] = (SiteState.DOWN, SiteState.BLACKHOLE),
+        state_weights: Sequence[float] = (0.7, 0.3),
+    ) -> None:
+        """Start an exponential MTBF/MTTR failure process per site."""
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ValueError("MTBF and MTTR must be > 0")
+        if len(states) != len(state_weights):
+            raise ValueError("states and weights must align")
+        names = list(site_names) if site_names is not None else sorted(self._sites)
+        for name in names:
+            if name not in self._sites:
+                raise KeyError(f"unknown site {name!r}")
+            stream = rng.stream(f"failures-{name}")
+            self.env.process(
+                self._stochastic(name, stream, mtbf_s, mttr_s, states, state_weights)
+            )
+
+    def _stochastic(self, name, stream, mtbf_s, mttr_s, states, weights):
+        import numpy as np
+
+        site = self._sites[name]
+        probs = np.asarray(weights, dtype=float)
+        probs /= probs.sum()
+        while True:
+            yield self.env.timeout(float(stream.exponential(mtbf_s)))
+            if site.state is not SiteState.UP:
+                continue  # a scripted fault is already in effect
+            state = states[int(stream.choice(len(states), p=probs))]
+            site.set_state(state)
+            self.log.append((self.env.now, name, state))
+            yield self.env.timeout(float(stream.exponential(mttr_s)))
+            site.set_state(SiteState.UP)
+            self.log.append((self.env.now, name, SiteState.UP))

@@ -1,0 +1,252 @@
+"""Per-site batch scheduler — the condor_q / PBS layer.
+
+Every Grid3 site ran its own local batch system with its own policy;
+SPHINX never controlled *when* a submitted job starts, only *where* it
+is submitted.  The paper's monitored quantities — queue length, running
+count — and its "idle time" metric (queuing time after being scheduled
+for execution) are all observables of this layer.
+
+:class:`LocalScheduler` queues :class:`SiteJob` entries on a counted
+CPU :class:`~repro.sim.resources.Resource` ordered by priority, runs
+each for a service time supplied by the owning site (which injects
+heterogeneity and noise), and drives the job's status machine::
+
+    PENDING -> RUNNING -> COMPLETED
+       |          |
+       +-> KILLED +-> KILLED / HELD
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim import Interrupt
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import Request, Resource
+
+__all__ = ["LocalScheduler", "SiteJob", "SiteJobStatus"]
+
+
+class SiteJobStatus(enum.Enum):
+    """Lifecycle of a job inside a site's batch system."""
+
+    PENDING = "pending"      # in the batch queue, waiting for a CPU
+    RUNNING = "running"      # occupying a CPU slot
+    COMPLETED = "completed"  # finished successfully
+    KILLED = "killed"        # removed by site failure or remote cancel
+    HELD = "held"            # stopped by the site, needs user attention
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            SiteJobStatus.COMPLETED,
+            SiteJobStatus.KILLED,
+            SiteJobStatus.HELD,
+        )
+
+
+@dataclass(eq=False)
+class SiteJob:
+    """A job as the local batch system sees it.
+
+    ``runtime_s`` is the nominal demand; the actual service time is
+    decided by the site at start.  Status-change callbacks fire with
+    ``(job, old_status, new_status)`` and are the hook the Condor-G
+    layer uses to surface grid-level job states.
+    """
+
+    job_id: str
+    owner: str = "anonymous"
+    runtime_s: float = 60.0
+    priority: int = 10
+
+    status: SiteJobStatus = field(default=SiteJobStatus.PENDING, init=False)
+    submitted_at: Optional[float] = field(default=None, init=False)
+    started_at: Optional[float] = field(default=None, init=False)
+    finished_at: Optional[float] = field(default=None, init=False)
+
+    _watchers: list = field(default_factory=list, init=False, repr=False)
+
+    def on_status_change(
+        self, callback: Callable[["SiteJob", SiteJobStatus, SiteJobStatus], None]
+    ) -> None:
+        self._watchers.append(callback)
+
+    def _set_status(self, new: SiteJobStatus) -> None:
+        old, self.status = self.status, new
+        for cb in list(self._watchers):
+            cb(self, old, new)
+
+    # -- timing observables ----------------------------------------------------
+    @property
+    def idle_time_s(self) -> Optional[float]:
+        """Batch-queue wait: submit -> start (the paper's "idle time")."""
+        if self.submitted_at is None or self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def execution_time_s(self) -> Optional[float]:
+        """Actual CPU occupancy: start -> finish."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def completion_time_s(self) -> Optional[float]:
+        """Submit -> finish; the paper's per-site "job completion time"."""
+        if self.submitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+class LocalScheduler:
+    """Priority-FIFO batch scheduler over ``n_cpus`` slots."""
+
+    def __init__(
+        self,
+        env: Environment,
+        n_cpus: int,
+        service_time_fn: Callable[[SiteJob], float],
+    ):
+        if n_cpus < 1:
+            raise ValueError(f"a site needs at least 1 CPU, got {n_cpus}")
+        self.env = env
+        self.n_cpus = n_cpus
+        self._cpus = Resource(env, capacity=n_cpus)
+        self._service_time_fn = service_time_fn
+        self._procs: dict[str, object] = {}      # job_id -> runner Process
+        self._pending: dict[str, Request] = {}   # job_id -> CPU request
+        self._running: set[str] = set()
+        self._jobs: dict[str, SiteJob] = {}
+        #: cumulative counters for monitoring / debugging
+        self.completed_count = 0
+        self.killed_count = 0
+        self.held_count = 0
+
+    # -- observables (what condor_q / PBS report) ---------------------------------
+    @property
+    def queued_jobs(self) -> int:
+        """Jobs waiting in the batch queue."""
+        return len(self._pending)
+
+    @property
+    def running_jobs(self) -> int:
+        """Jobs currently occupying CPU slots."""
+        return len(self._running)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of CPU slots busy."""
+        return len(self._running) / self.n_cpus
+
+    def job(self, job_id: str) -> SiteJob:
+        return self._jobs[job_id]
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    # -- capacity control (used by failure models) ----------------------------------
+    def freeze(self) -> None:
+        """Stop granting CPU slots (blackhole behaviour)."""
+        self._cpus.resize(0)
+
+    def thaw(self) -> None:
+        """Resume granting CPU slots."""
+        self._cpus.resize(self.n_cpus)
+
+    @property
+    def frozen(self) -> bool:
+        return self._cpus.capacity == 0
+
+    # -- job control ------------------------------------------------------------------
+    def submit(self, job: SiteJob) -> SiteJob:
+        """Enqueue a job; returns the same object for chaining."""
+        if job.job_id in self._jobs:
+            raise ValueError(f"duplicate local job id {job.job_id!r}")
+        if job.status is not SiteJobStatus.PENDING:
+            raise ValueError(f"job {job.job_id!r} was already submitted")
+        self._jobs[job.job_id] = job
+        job.submitted_at = self.env.now
+        req = self._cpus.request(priority=job.priority)
+        self._pending[job.job_id] = req
+        self._procs[job.job_id] = self.env.process(self._run(job, req))
+        return job
+
+    def kill(self, job_id: str) -> bool:
+        """Remove a job (remote cancellation or site crash).
+
+        Returns False when the job is already terminal.
+        """
+        return self._terminate(job_id, SiteJobStatus.KILLED)
+
+    def hold(self, job_id: str) -> bool:
+        """Put a job on hold (stopped, awaiting user analysis)."""
+        return self._terminate(job_id, SiteJobStatus.HELD)
+
+    def kill_all(self) -> int:
+        """Kill every non-terminal job; returns how many were killed."""
+        victims = [
+            jid for jid, j in self._jobs.items() if not j.status.terminal
+        ]
+        for jid in victims:
+            self.kill(jid)
+        return len(victims)
+
+    # -- internals ----------------------------------------------------------------------
+    def _terminate(self, job_id: str, status: SiteJobStatus) -> bool:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if job.status.terminal:
+            return False
+        req = self._pending.pop(job_id, None)
+        if req is not None:
+            try:
+                self._cpus.cancel(req)
+            except SimulationError:
+                # Granted this instant but the runner has not resumed yet
+                # (it would have left _pending if it had); the grant must
+                # be handed back or the slot leaks.
+                self._cpus.release(req)
+        proc = self._procs.get(job_id)
+        if proc is not None and proc.is_alive:  # type: ignore[attr-defined]
+            proc.interrupt(status)  # type: ignore[attr-defined]
+        job.finished_at = self.env.now
+        job._set_status(status)
+        if status is SiteJobStatus.KILLED:
+            self.killed_count += 1
+        else:
+            self.held_count += 1
+        return True
+
+    def _run(self, job: SiteJob, req: Request):
+        try:
+            yield req
+        except Interrupt:
+            # Killed/held while pending; _terminate set the status.
+            self._procs.pop(job.job_id, None)
+            return
+        finally:
+            self._pending.pop(job.job_id, None)
+
+        job.started_at = self.env.now
+        job._set_status(SiteJobStatus.RUNNING)
+        service = self._service_time_fn(job)
+        if service < 0:
+            raise ValueError(f"negative service time {service} for {job.job_id}")
+        self._running.add(job.job_id)
+        try:
+            yield self.env.timeout(service)
+        except Interrupt:
+            return  # killed/held while running; _terminate set the status
+        finally:
+            self._running.discard(job.job_id)
+            self._cpus.release(req)
+            self._procs.pop(job.job_id, None)
+
+        job.finished_at = self.env.now
+        job._set_status(SiteJobStatus.COMPLETED)
+        self.completed_count += 1

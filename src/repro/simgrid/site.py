@@ -1,0 +1,227 @@
+"""A grid site: CPUs, local batch system, storage, and fault states.
+
+Grid3 sites were heterogeneous (different CPU counts and speeds),
+independently administered (local priorities per VO proxy), and
+unreliable in two qualitatively different ways the paper's feedback
+mechanism must catch:
+
+* **downtime** — the site goes away; queued and running jobs are killed
+  (a loud failure, visible to the job tracker immediately);
+* **blackhole** — the site keeps accepting jobs but never runs them
+  ("slow response time" / "a job planned on a site may never complete");
+  nothing fails loudly, so only a scheduler-side timeout notices.
+
+:class:`GridSite` composes a :class:`~repro.simgrid.local_scheduler.
+LocalScheduler` with a performance model (per-site speed factor +
+log-normal service noise), a file store, and the fault state machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+from repro.simgrid.local_scheduler import LocalScheduler, SiteJob, SiteJobStatus
+
+__all__ = ["GridSite", "SiteState", "SiteUnavailableError", "StorageFullError"]
+
+
+class SiteUnavailableError(RuntimeError):
+    """Submission to a site that is down."""
+
+
+class StorageFullError(RuntimeError):
+    """A file write would exceed the site's disk capacity."""
+
+
+class SiteState(enum.Enum):
+    """Operational state of a site."""
+
+    UP = "up"                # normal operation
+    DOWN = "down"            # offline: submissions rejected, jobs killed
+    BLACKHOLE = "blackhole"  # accepts jobs, never starts them
+    DEGRADED = "degraded"    # running, but much slower than normal
+
+
+class GridSite:
+    """One site of the grid.
+
+    Parameters
+    ----------
+    env, rng:
+        Simulation environment and this site's private RNG streams
+        (spawned from the experiment root so sites are independent).
+    name:
+        Site identifier (e.g. ``"ufloridapg"``).
+    n_cpus:
+        Batch slots.
+    perf_factor:
+        Service-time multiplier relative to the reference CPU: 1.0 =
+        reference speed, 2.0 = half speed.  Grid3 hardware spanned
+        several generations, so factors in [0.6, 2.5] are realistic.
+    service_noise_sigma:
+        Sigma of the log-normal noise applied to every service time
+        (shared-node jitter, I/O interference).
+    degraded_factor:
+        Extra multiplier applied while the site is DEGRADED.
+    disk_capacity_mb:
+        Storage element size; writes beyond it raise
+        :class:`StorageFullError` (the paper's "hard disk quota"
+        concern made physical).  Default: unlimited.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: RngStreams,
+        name: str,
+        n_cpus: int,
+        perf_factor: float = 1.0,
+        service_noise_sigma: float = 0.1,
+        degraded_factor: float = 4.0,
+        disk_capacity_mb: float = float("inf"),
+    ):
+        if perf_factor <= 0 or degraded_factor <= 0:
+            raise ValueError("performance factors must be > 0")
+        if service_noise_sigma < 0:
+            raise ValueError("noise sigma must be >= 0")
+        if disk_capacity_mb <= 0:
+            raise ValueError("disk capacity must be > 0")
+        self.env = env
+        self.name = name
+        self.perf_factor = perf_factor
+        self.service_noise_sigma = service_noise_sigma
+        self.degraded_factor = degraded_factor
+        self.disk_capacity_mb = disk_capacity_mb
+        self._rng = rng.stream("service-noise")
+        self._state = SiteState.UP
+        self.scheduler = LocalScheduler(env, n_cpus, self._service_time)
+        #: logical files present at this site (lfn -> size_mb)
+        self._storage: dict[str, float] = {}
+        #: per-proxy priority overrides (site-local relegation)
+        self._proxy_priority: dict[str, int] = {}
+        #: state transition history [(time, state)] for analysis
+        self.state_history: list[tuple[float, SiteState]] = [(env.now, SiteState.UP)]
+
+    # -- static attributes the paper's algorithms read -----------------------------
+    @property
+    def n_cpus(self) -> int:
+        return self.scheduler.n_cpus
+
+    @property
+    def state(self) -> SiteState:
+        return self._state
+
+    @property
+    def is_up(self) -> bool:
+        return self._state is not SiteState.DOWN
+
+    # -- fault state machine ---------------------------------------------------------
+    def set_state(self, state: SiteState) -> None:
+        """Transition the site; side effects follow the state semantics."""
+        if state is self._state:
+            return
+        old, self._state = self._state, state
+        self.state_history.append((self.env.now, state))
+        if state is SiteState.DOWN:
+            # Loud failure: everything in the batch system dies.
+            self.scheduler.kill_all()
+            self.scheduler.freeze()
+        elif state is SiteState.BLACKHOLE:
+            # Silent failure: stop starting jobs, keep accepting them.
+            self.scheduler.freeze()
+        else:
+            if old in (SiteState.DOWN, SiteState.BLACKHOLE):
+                self.scheduler.thaw()
+
+    # -- local policy -------------------------------------------------------------------
+    def set_proxy_priority(self, proxy: str, priority: int) -> None:
+        """Site-local relegation/promotion of a VO proxy's priority."""
+        self._proxy_priority[proxy] = priority
+
+    def priority_for(self, proxy: str, default: int = 10) -> int:
+        return self._proxy_priority.get(proxy, default)
+
+    # -- storage -----------------------------------------------------------------------
+    def store_file(self, lfn: str, size_mb: float) -> None:
+        if size_mb < 0:
+            raise ValueError("size must be >= 0")
+        growth = size_mb - self._storage.get(lfn, 0.0)
+        if self.stored_mb + growth > self.disk_capacity_mb:
+            raise StorageFullError(
+                f"{self.name}: {size_mb} MB does not fit "
+                f"({self.free_mb:.0f} MB free)"
+            )
+        self._storage[lfn] = size_mb
+
+    @property
+    def free_mb(self) -> float:
+        return self.disk_capacity_mb - self.stored_mb
+
+    def delete_file(self, lfn: str) -> None:
+        self._storage.pop(lfn, None)
+
+    def has_file(self, lfn: str) -> bool:
+        return lfn in self._storage
+
+    @property
+    def stored_mb(self) -> float:
+        return sum(self._storage.values())
+
+    @property
+    def files(self) -> tuple[str, ...]:
+        return tuple(self._storage)
+
+    # -- job submission -------------------------------------------------------------------
+    def submit(
+        self,
+        job_id: str,
+        runtime_s: float,
+        owner: str = "anonymous",
+        priority: Optional[int] = None,
+    ) -> SiteJob:
+        """Submit a job to this site's batch system.
+
+        Raises :class:`SiteUnavailableError` when the site is DOWN — the
+        Globus gatekeeper does not answer.  BLACKHOLE sites accept the
+        job silently, which is precisely their danger.
+        """
+        if self._state is SiteState.DOWN:
+            raise SiteUnavailableError(f"site {self.name} is down")
+        prio = priority if priority is not None else self.priority_for(owner)
+        job = SiteJob(
+            job_id=job_id, owner=owner, runtime_s=runtime_s, priority=prio
+        )
+        return self.scheduler.submit(job)
+
+    def kill(self, job_id: str) -> bool:
+        """Remote cancellation (what the SPHINX client sends on timeout)."""
+        return self.scheduler.kill(job_id)
+
+    # -- monitoring observables ----------------------------------------------------------
+    @property
+    def queued_jobs(self) -> int:
+        return self.scheduler.queued_jobs
+
+    @property
+    def running_jobs(self) -> int:
+        return self.scheduler.running_jobs
+
+    # -- internals ----------------------------------------------------------------------
+    def _service_time(self, job: SiteJob) -> float:
+        factor = self.perf_factor
+        if self._state is SiteState.DEGRADED:
+            factor *= self.degraded_factor
+        if self.service_noise_sigma > 0:
+            factor *= float(np.exp(self._rng.normal(0.0, self.service_noise_sigma)))
+        return job.runtime_s * factor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"GridSite({self.name!r}, cpus={self.n_cpus}, "
+            f"perf={self.perf_factor}, state={self._state.value})"
+        )

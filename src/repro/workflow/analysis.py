@@ -1,0 +1,90 @@
+"""Structural statistics over DAGs and workloads.
+
+Used by the experiment reports to characterize generated workloads the
+way the paper describes its own ("10 jobs in random structure"), and by
+downstream users to sanity-check their campaigns before submission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.workflow.dag import Dag
+
+__all__ = ["DagShape", "dag_shape", "workload_summary"]
+
+
+@dataclass(frozen=True, slots=True)
+class DagShape:
+    """Structural profile of one DAG."""
+
+    dag_id: str
+    n_jobs: int
+    n_edges: int
+    depth: int               # longest chain (in jobs)
+    width: int               # widest antichain level
+    n_roots: int
+    n_leaves: int
+    total_compute_s: float
+    critical_path_s: float
+    external_input_mb: float
+    total_output_mb: float
+
+    @property
+    def parallelism(self) -> float:
+        """Ideal speedup: total work / critical path."""
+        if self.critical_path_s == 0:
+            return 1.0
+        return self.total_compute_s / self.critical_path_s
+
+
+def dag_shape(dag: Dag) -> DagShape:
+    """Compute the structural profile of ``dag``."""
+    level: dict[str, int] = {}
+    for jid in dag.job_ids:
+        parents = dag.parents(jid)
+        level[jid] = 1 + max((level[p] for p in parents), default=-1)
+    depth = max(level.values(), default=-1) + 1
+    width = 0
+    if level:
+        counts = np.bincount(np.array(list(level.values())))
+        width = int(counts.max())
+    n_edges = sum(len(dag.parents(jid)) for jid in dag.job_ids)
+    return DagShape(
+        dag_id=dag.dag_id,
+        n_jobs=len(dag),
+        n_edges=n_edges,
+        depth=depth,
+        width=width,
+        n_roots=len(dag.roots),
+        n_leaves=len(dag.leaves),
+        total_compute_s=sum(j.runtime_s for j in dag),
+        critical_path_s=dag.critical_path_s,
+        external_input_mb=sum(f.size_mb for f in dag.external_inputs),
+        total_output_mb=sum(f.size_mb for f in dag.all_outputs),
+    )
+
+
+def workload_summary(dags: Iterable[Dag]) -> dict[str, float]:
+    """Aggregate statistics over a workload (means unless noted)."""
+    shapes = [dag_shape(d) for d in dags]
+    if not shapes:
+        raise ValueError("empty workload")
+    return {
+        "n_dags": len(shapes),
+        "total_jobs": sum(s.n_jobs for s in shapes),
+        "mean_depth": float(np.mean([s.depth for s in shapes])),
+        "mean_width": float(np.mean([s.width for s in shapes])),
+        "mean_edges": float(np.mean([s.n_edges for s in shapes])),
+        "mean_parallelism": float(np.mean([s.parallelism for s in shapes])),
+        "mean_compute_s": float(np.mean([s.total_compute_s for s in shapes])),
+        "mean_critical_path_s": float(
+            np.mean([s.critical_path_s for s in shapes])
+        ),
+        "total_data_mb": float(
+            sum(s.external_input_mb + s.total_output_mb for s in shapes)
+        ),
+    }

@@ -1,0 +1,45 @@
+"""Logical file model.
+
+Grid data management distinguishes *logical* file names (LFNs — stable,
+catalog-level identifiers) from *physical* file names (PFNs — a concrete
+replica at a concrete site).  The workflow layer deals exclusively in
+LFNs; the replica location service (:mod:`repro.services.rls`) maps LFNs
+to the sites that hold replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LogicalFile"]
+
+
+@dataclass(frozen=True, slots=True)
+class LogicalFile:
+    """A logical file name plus the size used for transfer planning.
+
+    Instances are immutable and hashable so they can key replica-catalog
+    and dependency-graph structures.  Equality is by LFN only: two
+    references to the same LFN are the same file even if a stale size
+    estimate differs.
+    """
+
+    lfn: str
+    size_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.lfn:
+            raise ValueError("logical file name must be non-empty")
+        if self.size_mb < 0:
+            raise ValueError(f"file size must be >= 0, got {self.size_mb}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogicalFile):
+            return NotImplemented
+        return self.lfn == other.lfn
+
+    def __hash__(self) -> int:
+        return hash(self.lfn)
+
+    def __str__(self) -> str:
+        return self.lfn

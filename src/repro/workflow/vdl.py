@@ -1,0 +1,169 @@
+"""A miniature virtual-data language (Chimera's VDL, scaled down).
+
+Chimera lets physicists declare *transformations* (parameterized program
+templates) and *derivations* (concrete invocations wiring logical files
+to a transformation's formal parameters), then compiles the derivation
+catalog into an abstract DAG.  This module reproduces that front end so
+the examples can build workloads the way a Grid3 user would have:
+
+    catalog = VdlCatalog()
+    catalog.define_transformation("reco", inputs=["raw"], outputs=["rec"],
+                                  runtime_s=120)
+    catalog.add_derivation("reco", bindings={"raw": "run17.raw",
+                                             "rec": "run17.rec"})
+    dag = catalog.compile("run17")
+
+Only the structure relevant to scheduling is modelled; VDL's typing and
+provenance-query machinery is out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.workflow.dag import Dag, Job
+from repro.workflow.files import LogicalFile
+
+__all__ = ["VdlCatalog", "VdlError", "Transformation", "Derivation"]
+
+
+class VdlError(ValueError):
+    """Raised for malformed transformations/derivations."""
+
+
+@dataclass(frozen=True, slots=True)
+class Transformation:
+    """A parameterized program template: formal input/output names."""
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    runtime_s: float = 60.0
+    executable: str = "generic-app"
+    requirements: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise VdlError("transformation name must be non-empty")
+        if not self.outputs:
+            raise VdlError(f"transformation {self.name!r} produces nothing")
+        formals = list(self.inputs) + list(self.outputs)
+        if len(set(formals)) != len(formals):
+            raise VdlError(
+                f"transformation {self.name!r} has duplicate formal parameters"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Derivation:
+    """A concrete invocation: formal parameter -> logical file name."""
+
+    derivation_id: str
+    transformation: str
+    bindings: Mapping[str, str]
+    file_sizes_mb: Mapping[str, float] = field(default_factory=dict)
+
+
+class VdlCatalog:
+    """Holds transformations and derivations; compiles them to a Dag."""
+
+    def __init__(self) -> None:
+        self._transformations: dict[str, Transformation] = {}
+        self._derivations: list[Derivation] = []
+
+    # -- declaration -----------------------------------------------------------
+    def define_transformation(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        runtime_s: float = 60.0,
+        executable: str = "generic-app",
+        requirements: Mapping[str, float] | None = None,
+    ) -> Transformation:
+        if name in self._transformations:
+            raise VdlError(f"transformation {name!r} already defined")
+        tr = Transformation(
+            name=name,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            runtime_s=runtime_s,
+            executable=executable,
+            requirements=dict(requirements or {}),
+        )
+        self._transformations[name] = tr
+        return tr
+
+    def add_derivation(
+        self,
+        transformation: str,
+        bindings: Mapping[str, str],
+        derivation_id: str | None = None,
+        file_sizes_mb: Mapping[str, float] | None = None,
+    ) -> Derivation:
+        tr = self._transformations.get(transformation)
+        if tr is None:
+            raise VdlError(f"unknown transformation {transformation!r}")
+        formals = set(tr.inputs) | set(tr.outputs)
+        missing = formals - set(bindings)
+        if missing:
+            raise VdlError(
+                f"derivation of {transformation!r} missing bindings for "
+                f"{sorted(missing)}"
+            )
+        extra = set(bindings) - formals
+        if extra:
+            raise VdlError(
+                f"derivation of {transformation!r} binds unknown formals "
+                f"{sorted(extra)}"
+            )
+        did = derivation_id or f"{transformation}.d{len(self._derivations):03d}"
+        d = Derivation(
+            derivation_id=did,
+            transformation=transformation,
+            bindings=dict(bindings),
+            file_sizes_mb=dict(file_sizes_mb or {}),
+        )
+        self._derivations.append(d)
+        return d
+
+    # -- compilation -------------------------------------------------------------
+    def compile(self, dag_id: str) -> Dag:
+        """Compile the derivation catalog into an abstract DAG.
+
+        Edges emerge from shared logical files exactly as in
+        :class:`~repro.workflow.dag.Dag` — no explicit wiring needed.
+        """
+        if not self._derivations:
+            raise VdlError("catalog has no derivations to compile")
+        jobs = []
+        for d in self._derivations:
+            tr = self._transformations[d.transformation]
+            inputs = tuple(
+                LogicalFile(d.bindings[f], d.file_sizes_mb.get(d.bindings[f], 0.0))
+                for f in tr.inputs
+            )
+            outputs = tuple(
+                LogicalFile(d.bindings[f], d.file_sizes_mb.get(d.bindings[f], 0.0))
+                for f in tr.outputs
+            )
+            jobs.append(
+                Job(
+                    job_id=d.derivation_id,
+                    inputs=inputs,
+                    outputs=outputs,
+                    runtime_s=tr.runtime_s,
+                    executable=tr.executable,
+                    requirements=dict(tr.requirements),
+                )
+            )
+        return Dag(dag_id, jobs)
+
+    @property
+    def transformations(self) -> tuple[Transformation, ...]:
+        return tuple(self._transformations.values())
+
+    @property
+    def derivations(self) -> tuple[Derivation, ...]:
+        return tuple(self._derivations)

@@ -1,0 +1,66 @@
+"""Round-trip tests for the client/server wire formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialize import (
+    dag_to_payload,
+    job_to_payload,
+    payload_to_dag,
+    payload_to_job,
+)
+from repro.sim.rng import RngStreams
+from repro.workflow import Job, LogicalFile, WorkloadGenerator, WorkloadSpec
+
+
+def test_job_round_trip():
+    job = Job(
+        "j1",
+        inputs=(LogicalFile("a", 1.5), LogicalFile("b", 2.5)),
+        outputs=(LogicalFile("c", 3.0),),
+        runtime_s=120.0,
+        executable="reco",
+        requirements={"cpu_seconds": 120.0},
+    )
+    back = payload_to_job(job_to_payload(job))
+    assert back.job_id == job.job_id
+    assert back.inputs == job.inputs
+    assert [f.size_mb for f in back.inputs] == [1.5, 2.5]
+    assert back.outputs == job.outputs
+    assert back.runtime_s == 120.0
+    assert back.executable == "reco"
+    assert back.requirements == {"cpu_seconds": 120.0}
+
+
+def test_dag_round_trip_preserves_structure():
+    dag_payloadless = WorkloadGenerator(RngStreams(3).stream("w")).generate_dag(
+        WorkloadSpec(), "d"
+    )
+    back = payload_to_dag(dag_to_payload(dag_payloadless))
+    assert back.dag_id == dag_payloadless.dag_id
+    assert back.job_ids == dag_payloadless.job_ids
+    for jid in back.job_ids:
+        assert back.parents(jid) == dag_payloadless.parents(jid)
+
+
+def test_payload_is_rpc_serializable():
+    from repro.services.rpc import _check_serializable
+
+    dag = WorkloadGenerator(RngStreams(0).stream("w")).generate_dag(
+        WorkloadSpec(), "d"
+    )
+    _check_serializable(dag_to_payload(dag))  # must not raise
+
+
+@given(seed=st.integers(0, 5000), n_jobs=st.integers(1, 15))
+@settings(max_examples=30, deadline=None)
+def test_property_dag_round_trip(seed, n_jobs):
+    gen = WorkloadGenerator(RngStreams(seed).stream("w"))
+    dag = gen.generate_dag(WorkloadSpec(jobs_per_dag=n_jobs), "prop")
+    back = payload_to_dag(dag_to_payload(dag))
+    assert back.job_ids == dag.job_ids
+    for jid in dag.job_ids:
+        a, b = dag.job(jid), back.job(jid)
+        assert a.inputs == b.inputs
+        assert a.outputs == b.outputs
+        assert a.runtime_s == b.runtime_s

@@ -1,0 +1,73 @@
+"""Unit tests for the scheduling finite-state automaton."""
+
+import pytest
+
+from repro.core.states import (
+    DagState,
+    IllegalTransitionError,
+    JobState,
+    check_dag_transition,
+    check_job_transition,
+)
+
+
+class TestDagAutomaton:
+    def test_happy_path(self):
+        path = [DagState.RECEIVED, DagState.REDUCING, DagState.REDUCED,
+                DagState.RUNNING, DagState.FINISHED]
+        for old, new in zip(path, path[1:]):
+            check_dag_transition(old, new)
+
+    def test_reduction_can_finish_directly(self):
+        check_dag_transition(DagState.REDUCING, DagState.FINISHED)
+
+    def test_cannot_skip_reduction(self):
+        with pytest.raises(IllegalTransitionError):
+            check_dag_transition(DagState.RECEIVED, DagState.RUNNING)
+
+    def test_finished_is_terminal(self):
+        assert DagState.FINISHED.terminal
+        for state in DagState:
+            if state is not DagState.FINISHED:
+                assert not state.terminal
+        with pytest.raises(IllegalTransitionError):
+            check_dag_transition(DagState.FINISHED, DagState.RUNNING)
+
+
+class TestJobAutomaton:
+    def test_happy_path(self):
+        path = [JobState.UNPLANNED, JobState.READY, JobState.PLANNED,
+                JobState.SUBMITTED, JobState.FINISHED]
+        for old, new in zip(path, path[1:]):
+            check_job_transition(old, new)
+
+    def test_cancel_and_replan_cycle(self):
+        check_job_transition(JobState.SUBMITTED, JobState.CANCELLED)
+        check_job_transition(JobState.CANCELLED, JobState.READY)
+        check_job_transition(JobState.READY, JobState.PLANNED)
+
+    def test_planned_can_cancel(self):
+        # Stage-in failure cancels before submission.
+        check_job_transition(JobState.PLANNED, JobState.CANCELLED)
+
+    def test_reducer_removal(self):
+        check_job_transition(JobState.UNPLANNED, JobState.REMOVED)
+        with pytest.raises(IllegalTransitionError):
+            check_job_transition(JobState.PLANNED, JobState.REMOVED)
+
+    def test_terminal_states(self):
+        assert JobState.FINISHED.terminal
+        assert JobState.REMOVED.terminal
+        assert not JobState.CANCELLED.terminal  # it replans!
+
+    def test_active_states_feed_load_rates(self):
+        assert JobState.PLANNED.active
+        assert JobState.SUBMITTED.active
+        assert not JobState.READY.active
+        assert not JobState.FINISHED.active
+
+    def test_no_resurrection(self):
+        with pytest.raises(IllegalTransitionError):
+            check_job_transition(JobState.FINISHED, JobState.READY)
+        with pytest.raises(IllegalTransitionError):
+            check_job_transition(JobState.REMOVED, JobState.READY)

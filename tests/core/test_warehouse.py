@@ -1,0 +1,225 @@
+"""Unit and property tests for the warehouse (table store + recovery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.warehouse import Table, Warehouse, WarehouseError
+
+
+def jobs_table():
+    return Table("jobs", ("job_id", "state", "site"), key="job_id")
+
+
+class TestTable:
+    def test_key_must_be_column(self):
+        with pytest.raises(WarehouseError):
+            Table("t", ("a", "b"), key="c")
+
+    def test_insert_and_get(self):
+        t = jobs_table()
+        t.insert({"job_id": "j1", "state": "ready", "site": None})
+        assert t.get("j1") == {"job_id": "j1", "state": "ready", "site": None}
+
+    def test_get_returns_copy(self):
+        t = jobs_table()
+        t.insert({"job_id": "j1", "state": "ready", "site": None})
+        row = t.get("j1")
+        row["state"] = "mutated"
+        assert t.get("j1")["state"] == "ready"
+
+    def test_insert_missing_column_rejected(self):
+        t = jobs_table()
+        with pytest.raises(WarehouseError, match="missing"):
+            t.insert({"job_id": "j1"})
+
+    def test_insert_unknown_column_rejected(self):
+        t = jobs_table()
+        with pytest.raises(WarehouseError, match="unknown"):
+            t.insert({"job_id": "j1", "state": "x", "site": None, "zzz": 1})
+
+    def test_duplicate_key_rejected(self):
+        t = jobs_table()
+        t.insert({"job_id": "j1", "state": "a", "site": None})
+        with pytest.raises(WarehouseError, match="duplicate"):
+            t.insert({"job_id": "j1", "state": "b", "site": None})
+
+    def test_update(self):
+        t = jobs_table()
+        t.insert({"job_id": "j1", "state": "a", "site": None})
+        updated = t.update("j1", state="b", site="s0")
+        assert updated["state"] == "b"
+        assert t.get("j1")["site"] == "s0"
+
+    def test_update_missing_row_rejected(self):
+        with pytest.raises(WarehouseError, match="no row"):
+            jobs_table().update("ghost", state="x")
+
+    def test_update_cannot_change_key(self):
+        t = jobs_table()
+        t.insert({"job_id": "j1", "state": "a", "site": None})
+        with pytest.raises(WarehouseError, match="primary key"):
+            t.update("j1", job_id="j2")
+
+    def test_upsert(self):
+        t = jobs_table()
+        t.upsert({"job_id": "j1", "state": "a", "site": None})
+        t.upsert({"job_id": "j1", "state": "b", "site": None})
+        assert t.get("j1")["state"] == "b"
+        assert len(t) == 1
+
+    def test_delete(self):
+        t = jobs_table()
+        t.insert({"job_id": "j1", "state": "a", "site": None})
+        assert t.delete("j1") is True
+        assert t.delete("j1") is False
+        assert t.get("j1") is None
+
+    def test_select_equality(self):
+        t = jobs_table()
+        for i, state in enumerate(["a", "b", "a"]):
+            t.insert({"job_id": f"j{i}", "state": state, "site": None})
+        assert [r["job_id"] for r in t.select(where={"state": "a"})] == ["j0", "j2"]
+
+    def test_select_predicate(self):
+        t = jobs_table()
+        for i in range(4):
+            t.insert({"job_id": f"j{i}", "state": str(i), "site": None})
+        rows = t.select(predicate=lambda r: int(r["state"]) >= 2)
+        assert [r["job_id"] for r in rows] == ["j2", "j3"]
+
+    def test_select_preserves_insertion_order(self):
+        t = jobs_table()
+        for name in ("z", "a", "m"):
+            t.insert({"job_id": name, "state": "x", "site": None})
+        assert [r["job_id"] for r in t.select()] == ["z", "a", "m"]
+
+    def test_count_contains_iter(self):
+        t = jobs_table()
+        t.insert({"job_id": "j1", "state": "a", "site": None})
+        assert t.count() == 1
+        assert t.count(where={"state": "b"}) == 0
+        assert "j1" in t
+        assert [r["job_id"] for r in t] == ["j1"]
+
+
+class TestWarehouse:
+    def test_create_and_lookup(self):
+        w = Warehouse()
+        w.create_table("t", ("k", "v"), key="k")
+        assert "t" in w
+        assert w.table("t").columns == ("k", "v")
+
+    def test_duplicate_table_rejected(self):
+        w = Warehouse()
+        w.create_table("t", ("k",), key="k")
+        with pytest.raises(WarehouseError):
+            w.create_table("t", ("k",), key="k")
+
+    def test_missing_table_rejected(self):
+        with pytest.raises(WarehouseError):
+            Warehouse().table("ghost")
+
+    def test_snapshot_restore_round_trip(self):
+        w = Warehouse()
+        t = w.create_table("jobs", ("job_id", "state"), key="job_id")
+        t.insert({"job_id": "j1", "state": "a"})
+        snap = w.snapshot()
+        w2 = Warehouse()
+        w2.restore(snap)
+        assert w2.table("jobs").get("j1") == {"job_id": "j1", "state": "a"}
+
+    def test_snapshot_is_isolated_from_later_writes(self):
+        w = Warehouse()
+        t = w.create_table("jobs", ("job_id", "state"), key="job_id")
+        t.insert({"job_id": "j1", "state": "a"})
+        snap = w.snapshot()
+        t.update("j1", state="mutated")
+        t.insert({"job_id": "j2", "state": "b"})
+        w2 = Warehouse()
+        w2.restore(snap)
+        assert w2.table("jobs").get("j1")["state"] == "a"
+        assert w2.table("jobs").get("j2") is None
+
+    def test_restore_replaces_existing_contents(self):
+        w = Warehouse()
+        w.create_table("old", ("k",), key="k")
+        fresh = Warehouse()
+        fresh.create_table("new", ("k",), key="k")
+        w.restore(fresh.snapshot())
+        assert "old" not in w and "new" in w
+
+    def test_restore_malformed_snapshot_rejected(self):
+        with pytest.raises(WarehouseError):
+            Warehouse().restore({})
+
+    def test_restored_rows_do_not_share_mutable_state(self):
+        w = Warehouse()
+        t = w.create_table("t", ("k", "payload"), key="k")
+        t.insert({"k": "a", "payload": {"nested": [1, 2]}})
+        snap = w.snapshot()
+        t.get("a")  # copies anyway, but mutate the internal row:
+        t.update("a", payload={"nested": [99]})
+        w2 = Warehouse()
+        w2.restore(snap)
+        assert w2.table("t").get("a")["payload"] == {"nested": [1, 2]}
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete"]),
+            st.integers(0, 9),
+            st.integers(0, 100),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_table_matches_dict_model(ops):
+    """The table behaves like a plain dict keyed by the primary key."""
+    t = Table("t", ("k", "v"), key="k")
+    model = {}
+    for op, key, value in ops:
+        k = f"k{key}"
+        if op == "insert":
+            if k in model:
+                with pytest.raises(WarehouseError):
+                    t.insert({"k": k, "v": value})
+            else:
+                t.insert({"k": k, "v": value})
+                model[k] = value
+        elif op == "update":
+            if k in model:
+                t.update(k, v=value)
+                model[k] = value
+            else:
+                with pytest.raises(WarehouseError):
+                    t.update(k, v=value)
+        else:
+            assert t.delete(k) == (k in model)
+            model.pop(k, None)
+    assert len(t) == len(model)
+    for k, v in model.items():
+        assert t.get(k) == {"k": k, "v": v}
+
+
+@given(
+    rows=st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.integers(0, 1000),
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_snapshot_restore_identity(rows):
+    w = Warehouse()
+    t = w.create_table("t", ("k", "v"), key="k")
+    for k, v in rows.items():
+        t.insert({"k": k, "v": v})
+    w2 = Warehouse()
+    w2.restore(w.snapshot())
+    t2 = w2.table("t")
+    assert len(t2) == len(rows)
+    for k, v in rows.items():
+        assert t2.get(k) == {"k": k, "v": v}

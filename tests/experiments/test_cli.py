@@ -1,0 +1,50 @@
+"""Unit tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_algorithms(capsys):
+    assert main(["list-algorithms"]) == 0
+    out = capsys.readouterr().out
+    assert "completion-time" in out
+    assert "round-robin" in out
+
+
+def test_parser_defaults_match_paper():
+    p = build_parser()
+    assert p.parse_args(["fig2"]).dags == 30
+    assert p.parse_args(["fig6"]).dags == 120
+    assert p.parse_args(["fig8"]).dags == 120
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_fig2_scaled_down_runs(capsys):
+    assert main(["fig2", "--dags", "3", "--horizon-hours", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "round-robin+fb" in out
+    assert "avg dag (s)" in out
+
+
+def test_fig345_scaled_down_runs(capsys):
+    assert main(["fig345", "--dags", "3", "--horizon-hours", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "completion-time" in out
+    assert "queue-length" in out
+
+
+def test_fig6_scaled_down_runs(capsys):
+    assert main(["fig6", "--dags", "4", "--horizon-hours", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Spearman" in out
+
+
+def test_fig8_scaled_down_runs(capsys):
+    assert main(["fig8", "--dags", "3", "--horizon-hours", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "num-cpus-nofb" in out

@@ -1,0 +1,58 @@
+"""Scaled-down smoke tests of every figure driver.
+
+Full-scale behaviour (and shape assertions) live in benchmarks/; these
+verify the drivers assemble and run the right experiments at all.
+"""
+
+from repro.experiments import (
+    fig2_feedback,
+    fig3_algorithms,
+    fig6_site_distribution,
+    fig8_timeouts,
+)
+from repro.experiments.figures import ALGORITHM_LINEUP, fig5_pairwise
+
+
+def test_lineup_covers_the_papers_algorithms():
+    assert [s.algorithm for s in ALGORITHM_LINEUP] == [
+        "completion-time", "queue-length", "num-cpus", "round-robin",
+    ]
+    assert all(s.use_feedback for s in ALGORITHM_LINEUP)
+
+
+def test_fig2_driver_variants():
+    result = fig2_feedback(n_dags=2, horizon_s=3 * 3600.0)
+    assert set(result.servers) == {
+        "round-robin+fb", "round-robin-nofb", "num-cpus+fb", "num-cpus-nofb",
+    }
+    assert result["round-robin+fb"].use_feedback
+    assert not result["round-robin-nofb"].use_feedback
+
+
+def test_fig3_driver_lineup():
+    result = fig3_algorithms(n_dags=2, horizon_s=3 * 3600.0)
+    assert set(result.servers) == {s.label for s in ALGORITHM_LINEUP}
+
+
+def test_fig5_pairwise_driver():
+    results = fig5_pairwise(n_dags=2, horizon_s=3 * 3600.0)
+    assert set(results) == {"queue-length", "num-cpus", "round-robin"}
+    for rival, result in results.items():
+        assert set(result.servers) == {"completion-time", rival}
+
+
+def test_fig6_driver_outputs():
+    result, tables, correlations = fig6_site_distribution(
+        n_dags=3, horizon_s=4 * 3600.0
+    )
+    assert set(tables) == {"completion-time", "num-cpus"}
+    for rows in tables.values():
+        for site, jobs, _avg in rows:
+            assert isinstance(site, str) and jobs >= 1
+    assert set(correlations) == {"completion-time", "num-cpus"}
+
+
+def test_fig8_driver_includes_nofb_variant():
+    result = fig8_timeouts(n_dags=2, horizon_s=3 * 3600.0)
+    assert "num-cpus-nofb" in result.servers
+    assert not result["num-cpus-nofb"].use_feedback

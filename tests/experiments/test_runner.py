@@ -1,0 +1,83 @@
+"""Integration tests for the experiment runner (scaled-down scenarios)."""
+
+import pytest
+
+from repro.experiments import Scenario, ServerSpec, run_scenario
+from repro.simgrid.grid import SiteSpec
+
+#: A small, fault-free grid for quick runner tests.
+SMALL_SITES = (
+    SiteSpec("alpha", n_cpus=16, perf_factor=1.0, uplink_mbps=20.0,
+             background_utilization=0.3, service_noise_sigma=0.05),
+    SiteSpec("beta", n_cpus=8, perf_factor=1.5, uplink_mbps=10.0,
+             background_utilization=0.2, service_noise_sigma=0.05),
+    SiteSpec("gamma", n_cpus=24, perf_factor=0.8, uplink_mbps=30.0,
+             background_utilization=0.4, service_noise_sigma=0.05),
+)
+
+
+def small_scenario(**kw):
+    kw.setdefault("name", "small")
+    kw.setdefault("servers", (ServerSpec("ct", "completion-time"),
+                              ServerSpec("rr", "round-robin")))
+    kw.setdefault("n_dags", 3)
+    kw.setdefault("sites", SMALL_SITES)
+    kw.setdefault("fault_windows", ())
+    kw.setdefault("horizon_s", 6 * 3600.0)
+    return Scenario(**kw)
+
+
+def test_scenario_completes_all_dags():
+    result = run_scenario(small_scenario())
+    assert not result.horizon_reached
+    for label in ("ct", "rr"):
+        server = result[label]
+        assert server.finished_dags == 3
+        assert len(server.dag_completion_times) == 3
+        assert len(server.job_completion_times) == 30
+        assert server.avg_dag_completion_s > 0
+
+
+def test_results_deterministic():
+    a = run_scenario(small_scenario(seed=9))
+    b = run_scenario(small_scenario(seed=9))
+    assert a["ct"].dag_completion_times == b["ct"].dag_completion_times
+    assert a["rr"].resubmissions == b["rr"].resubmissions
+
+
+def test_different_seed_changes_outcome():
+    a = run_scenario(small_scenario(seed=1))
+    b = run_scenario(small_scenario(seed=2))
+    assert a["ct"].dag_completion_times != b["ct"].dag_completion_times
+
+
+def test_workloads_structurally_identical_across_servers():
+    result = run_scenario(small_scenario())
+    # Same number of jobs and identical nominal demand per server.
+    ct, rr = result["ct"], result["rr"]
+    assert sum(ct.jobs_per_site.values()) == sum(rr.jobs_per_site.values())
+
+
+def test_quota_constrained_scenario_runs():
+    sc = small_scenario(
+        name="quota",
+        job_requirements={"cpu_seconds": 60.0},
+        quota_per_site={"cpu_seconds": 20 * 60.0},  # 20 jobs/site/user
+    )
+    result = run_scenario(sc)
+    for label in ("ct", "rr"):
+        assert result[label].finished_dags == 3
+
+
+def test_horizon_reached_reported():
+    sc = small_scenario(n_dags=5, horizon_s=120.0)  # far too short
+    result = run_scenario(sc)
+    assert result.horizon_reached
+    assert result.elapsed_sim_s == 120.0
+
+
+def test_result_indexing():
+    result = run_scenario(small_scenario())
+    assert result["ct"].label == "ct"
+    with pytest.raises(KeyError):
+        result["ghost"]

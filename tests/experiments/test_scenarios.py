@@ -1,0 +1,93 @@
+"""Unit tests for scenario specifications."""
+
+import pytest
+
+from repro.experiments import Scenario, ServerSpec, default_fault_windows
+from repro.simgrid import SiteState
+
+
+def spec():
+    return (ServerSpec("a", "round-robin"),)
+
+
+def test_scenario_needs_servers():
+    with pytest.raises(ValueError):
+        Scenario(name="x", servers=())
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        Scenario(name="x", servers=(ServerSpec("a", "round-robin"),
+                                    ServerSpec("a", "num-cpus")))
+
+
+def test_n_dags_validation():
+    with pytest.raises(ValueError):
+        Scenario(name="x", servers=spec(), n_dags=0)
+
+
+def test_workload_spec_reflects_scenario():
+    sc = Scenario(name="x", servers=spec(), n_dags=7, jobs_per_dag=5,
+                  job_requirements={"cpu_seconds": 60.0})
+    ws = sc.workload_spec()
+    assert ws.n_dags == 7
+    assert ws.jobs_per_dag == 5
+    assert ws.requirements == {"cpu_seconds": 60.0}
+
+
+def test_workload_overrides():
+    sc = Scenario(name="x", servers=spec(),
+                  workload_overrides={"runtime_cv": 0.5})
+    assert sc.workload_spec().runtime_cv == 0.5
+
+
+def test_default_windows_used_when_none():
+    sc = Scenario(name="x", servers=spec(), horizon_s=10_000.0)
+    windows = sc.resolved_fault_windows()
+    assert windows == default_fault_windows(10_000.0)
+    assert any(w.site == "mcfarm" for w in windows)
+
+
+def test_explicit_empty_windows_mean_fault_free():
+    sc = Scenario(name="x", servers=spec(), fault_windows=())
+    assert sc.resolved_fault_windows() == ()
+
+
+class TestDefaultFaultScript:
+    def test_permanent_blackhole(self):
+        windows = default_fault_windows(3600.0)
+        mcfarm = [w for w in windows if w.site == "mcfarm"]
+        assert len(mcfarm) == 1
+        assert mcfarm[0].state is SiteState.BLACKHOLE
+        assert mcfarm[0].start_s == 0.0
+        assert mcfarm[0].end_s == 3600.0
+
+    def test_mid_run_outages_do_not_heal(self):
+        horizon = 24 * 3600.0
+        windows = default_fault_windows(horizon)
+        for site in ("nest", "ufloridapg", "atlas"):
+            ws = [w for w in windows if w.site == site]
+            assert len(ws) == 1
+            assert ws[0].end_s == horizon  # dead for the rest of the run
+
+    def test_atlas_broken_from_the_start(self):
+        windows = default_fault_windows(24 * 3600.0)
+        atlas = next(w for w in windows if w.site == "atlas")
+        assert atlas.start_s == 0.0
+        assert atlas.state is SiteState.BLACKHOLE
+
+    def test_short_horizon_has_fewer_faults(self):
+        sites = {w.site for w in default_fault_windows(1200.0)}
+        assert "nest" not in sites and "ufloridapg" not in sites
+        assert "mcfarm" in sites and "atlas" in sites
+
+    def test_no_same_site_overlaps(self):
+        windows = sorted(default_fault_windows(48 * 3600.0),
+                         key=lambda w: (w.site, w.start_s))
+        for a, b in zip(windows, windows[1:]):
+            if a.site == b.site:
+                assert b.start_s >= a.end_s
+
+    def test_degradation_window_present(self):
+        windows = default_fault_windows(24 * 3600.0)
+        assert any(w.state is SiteState.DEGRADED for w in windows)

@@ -1,0 +1,85 @@
+"""Property-style fault-injection tests on the full stack.
+
+Randomized fault schedules (bounded by hypothesis) against a small
+grid; the invariants are liveness and conservation, not numbers:
+
+* every DAG eventually finishes as long as at least one site stays
+  healthy,
+* no site ever runs more jobs than it has CPUs,
+* the server's books balance: finished + in-flight + waiting = total.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.states import JobState
+from repro.simgrid import DowntimeWindow, SiteState
+from repro.workflow import WorkloadGenerator, WorkloadSpec
+from repro.sim.rng import RngStreams
+
+from tests.integration.stack import FullStack
+
+fault_windows = st.lists(
+    st.tuples(
+        st.integers(1, 2),                   # faulty site index (s0 is safe)
+        st.floats(10.0, 1200.0),             # start
+        st.floats(100.0, 1500.0),            # duration
+        st.sampled_from([SiteState.DOWN, SiteState.BLACKHOLE,
+                         SiteState.DEGRADED]),
+    ),
+    max_size=4,
+)
+
+
+@given(windows=fault_windows, seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_dags_survive_arbitrary_fault_schedules(windows, seed):
+    st_ = FullStack(n_sites=3, n_cpus=8, algorithm="round-robin",
+                    job_timeout_s=300.0)
+    # Convert to non-overlapping per-site windows.
+    per_site: dict[int, float] = {}
+    resolved = []
+    for idx, start, duration, state in windows:
+        start = max(start, per_site.get(idx, 0.0) + 1.0)
+        resolved.append(
+            DowntimeWindow(f"s{idx}", start, start + duration, state=state)
+        )
+        per_site[idx] = start + duration
+    st_.grid.failures.schedule_windows(resolved)
+
+    gen = WorkloadGenerator(RngStreams(seed).stream("w"))
+    dags = gen.generate(WorkloadSpec(n_dags=2, jobs_per_dag=5))
+    for dag in dags:
+        st_.submit(dag)
+    st_.run(until=6 * 3600.0)
+
+    # Liveness: everything finished (s0 never faults).
+    assert st_.client.finished_dag_count == 2
+
+    # Conservation: the server's books balance.
+    jobs = st_.server.warehouse.table("jobs")
+    states = [r["state"] for r in jobs.select()]
+    assert len(states) == 10
+    assert all(s == JobState.FINISHED.value for s in states)
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_capacity_never_exceeded_under_load(seed):
+    st_ = FullStack(n_sites=2, n_cpus=4, background=0.6)
+    gen = WorkloadGenerator(RngStreams(seed).stream("w"))
+    for dag in gen.generate(WorkloadSpec(n_dags=2, jobs_per_dag=6)):
+        st_.submit(dag)
+
+    peaks = {name: 0 for name in st_.grid.site_names}
+
+    def probe(env):
+        while True:
+            for site in st_.grid:
+                peaks[site.name] = max(peaks[site.name], site.running_jobs)
+                assert site.running_jobs <= site.n_cpus
+            yield env.timeout(5.0)
+
+    st_.env.process(probe(st_.env))
+    st_.run(until=2 * 3600.0)
+    assert all(p <= 4 for p in peaks.values())

@@ -1,0 +1,60 @@
+"""Integration: feeding SPHINX's site catalog from the MDS service."""
+
+from repro.core import ServerConfig, SphinxClient, SphinxServer
+from repro.services import (
+    CondorG,
+    GridFtpService,
+    MonitoringService,
+    ReplicaService,
+    RpcBus,
+)
+from repro.services.mds import InformationService
+from repro.sim import Environment
+from repro.sim.rng import RngStreams
+from repro.simgrid import Grid
+from repro.simgrid.grid import SiteSpec
+from repro.simgrid.vo import User, VirtualOrganization
+from repro.workflow import Dag, Job, LogicalFile
+
+
+def test_server_catalog_from_information_service():
+    env = Environment()
+    grid = Grid(env, RngStreams(0))
+    grid.add_site(SiteSpec("big", n_cpus=8, advertised_cpus=64,
+                           background_utilization=0.0,
+                           service_noise_sigma=0.0))
+    grid.add_site(SiteSpec("small", n_cpus=4,
+                           background_utilization=0.0,
+                           service_noise_sigma=0.0))
+    mds = InformationService(env, ttl_s=1800.0)
+    mds.start_refresher(grid, interval_s=300.0)
+    env.run(until=1.0)  # first registration pass
+
+    bus = RpcBus(env)
+    rls = ReplicaService(env, grid.site_names)
+    gridftp = GridFtpService(env, grid, rls)
+    condorg = CondorG(env, grid)
+    monitoring = MonitoringService(env, grid, update_interval_s=60.0)
+
+    # The server sees what sites *claim* — 64 CPUs for 'big'.
+    catalog = mds.site_catalog()
+    assert catalog == {"big": 64, "small": 4}
+    server = SphinxServer(
+        env, bus, ServerConfig(name="mds", algorithm="num-cpus",
+                               tick_s=2.0, job_timeout_s=600.0),
+        catalog, monitoring, rls,
+    )
+    user = User("alice", VirtualOrganization("demo"))
+    server.policy.grant_unlimited(user.proxy)
+    client = SphinxClient(env, bus, server.service_name, condorg, gridftp,
+                          rls, user, "c0", poll_s=1.0)
+
+    dag = Dag("m", [Job("m.a", inputs=(LogicalFile("m.raw", 1.0),),
+                        outputs=(LogicalFile("m.out", 1.0),),
+                        runtime_s=30.0)])
+    client.stage_external_inputs(dag, grid.site("small"))
+    env.process(client.submit_dag(dag))
+    env.run(until=1800.0)
+    assert client.finished_dag_count == 1
+    # num-cpus, fed the inflated claim, sent the job to 'big'.
+    assert server.warehouse.table("jobs").get("m.a")["site"] == "big"

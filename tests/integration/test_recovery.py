@@ -1,0 +1,128 @@
+"""Server crash/recovery integration tests (paper §3.1)."""
+
+from repro.core import ServerConfig, recover_server
+from repro.core.states import DagState, JobState
+from repro.workflow import Dag, Job, LogicalFile
+
+from tests.integration.stack import FullStack
+
+
+def lf(name, size=1.0):
+    return LogicalFile(name, size)
+
+
+def chain(dag_id="r", n=3, runtime=60.0):
+    jobs = []
+    prev = lf(f"{dag_id}.raw")
+    for i in range(n):
+        out = lf(f"{dag_id}.out{i}")
+        jobs.append(Job(f"{dag_id}.j{i}", inputs=(prev,), outputs=(out,),
+                        runtime_s=runtime))
+        prev = out
+    return Dag(dag_id, jobs)
+
+
+def crash_and_recover(st, at, resume_config=None):
+    """Kill the server at sim time ``at``; bring a recovered one up."""
+    holder = {}
+
+    def crash(env):
+        yield env.timeout(at)
+        st.server.checkpoint()
+        checkpoint = st.server.last_checkpoint
+        st.server.shutdown()
+        yield env.timeout(30.0)  # downtime window
+        holder["server"] = recover_server(
+            env, st.bus, resume_config or st.config, st.catalog,
+            st.monitoring, st.rls, checkpoint,
+        )
+        holder["server"].policy.grant_unlimited(st.user.proxy)
+
+    st.env.process(crash(st.env))
+    return holder
+
+
+def test_recovery_resumes_unfinished_dags():
+    st = FullStack(tick_s=2.0)
+    st.submit(chain(n=4, runtime=120.0))
+    holder = crash_and_recover(st, at=150.0)
+    st.run(until=4 * 3600.0)
+    server2 = holder["server"]
+    assert server2.warehouse.table("dags").get("r")["state"] == \
+        DagState.FINISHED.value
+    assert st.client.finished_dag_count == 1
+
+
+def test_recovery_requeues_in_flight_jobs():
+    st = FullStack(tick_s=2.0)
+    st.submit(chain(n=2, runtime=500.0))
+    holder = crash_and_recover(st, at=60.0)  # j0 running at the crash
+    st.run(until=2 * 3600.0)
+    server2 = holder["server"]
+    jobs = server2.warehouse.table("jobs")
+    assert jobs.get("r.j0")["state"] == JobState.FINISHED.value
+    assert jobs.get("r.j1")["state"] == JobState.FINISHED.value
+    # The in-flight attempt was requeued at least once.
+    assert jobs.get("r.j0")["attempts"] >= 1
+
+
+def test_duplicate_completion_after_recovery_is_absorbed():
+    """The pre-crash attempt may finish and report to the recovered
+    server alongside the requeued attempt; exactly one must count."""
+    st = FullStack(tick_s=2.0)
+    st.submit(chain(n=1, runtime=300.0))
+    holder = crash_and_recover(st, at=60.0)
+    st.run(until=2 * 3600.0)
+    server2 = holder["server"]
+    jobs = server2.warehouse.table("jobs")
+    assert jobs.get("r.j0")["state"] == JobState.FINISHED.value
+    dag_row = server2.warehouse.table("dags").get("r")
+    assert dag_row["state"] == DagState.FINISHED.value
+
+
+def test_recovery_without_checkpoint_starts_empty():
+    st = FullStack()
+    st.server.shutdown()
+    server2 = recover_server(st.env, st.bus, st.config, st.catalog,
+                             st.monitoring, st.rls, checkpoint=None)
+    assert len(server2.warehouse.table("dags")) == 0
+    assert server2.service_name in st.bus.services()
+
+
+def test_feedback_state_survives_recovery():
+    st = FullStack()
+    st.server.feedback.record_cancellation("s1")
+    st.server.feedback.record_cancellation("s1")
+    st.server.checkpoint()
+    checkpoint = st.server.last_checkpoint
+    st.server.shutdown()
+    server2 = recover_server(st.env, st.bus, st.config, st.catalog,
+                             st.monitoring, st.rls, checkpoint)
+    assert server2.feedback.cancelled("s1") == 2
+    assert not server2.feedback.is_reliable("s1")
+
+
+def test_client_reports_retry_through_downtime():
+    """A completion landing during server downtime must not be lost."""
+    st = FullStack(tick_s=2.0)
+    st.submit(chain(n=1, runtime=100.0))
+
+    holder = {}
+
+    def crash(env):
+        # Crash while j0 runs; stay down PAST its completion (~t=105).
+        yield env.timeout(60.0)
+        st.server.checkpoint()
+        checkpoint = st.server.last_checkpoint
+        st.server.shutdown()
+        yield env.timeout(120.0)
+        holder["server"] = recover_server(
+            env, st.bus, st.config, st.catalog, st.monitoring, st.rls,
+            checkpoint,
+        )
+        holder["server"].policy.grant_unlimited(st.user.proxy)
+
+    st.env.process(crash(st.env))
+    st.run(until=2 * 3600.0)
+    jobs = holder["server"].warehouse.table("jobs")
+    assert jobs.get("r.j0")["state"] == JobState.FINISHED.value

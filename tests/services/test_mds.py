@@ -1,0 +1,130 @@
+"""Unit tests for the information catalog service (MDS equivalent)."""
+
+import pytest
+
+from repro.services.mds import InformationService
+from repro.sim import Environment
+from repro.sim.rng import RngStreams
+from repro.simgrid import Grid, SiteState
+from repro.simgrid.grid import SiteSpec
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        InformationService(env, ttl_s=0)
+    svc = InformationService(env)
+    with pytest.raises(ValueError):
+        svc.register("s", cpus=0)
+    with pytest.raises(ValueError):
+        svc.register("s", cpus=1, storage_mb=-1)
+
+
+def test_register_and_lookup():
+    env = Environment()
+    svc = InformationService(env)
+    svc.register("ufl", cpus=100, storage_mb=500.0)
+    rec = svc.lookup("ufl")
+    assert rec.cpus == 100
+    assert rec.storage_mb == 500.0
+
+
+def test_unknown_site_is_none():
+    assert InformationService(Environment()).lookup("ghost") is None
+
+
+def test_records_expire_after_ttl():
+    env = Environment()
+    svc = InformationService(env, ttl_s=100.0)
+    svc.register("s", cpus=10)
+    env.run(until=50.0)
+    assert svc.lookup("s") is not None
+    env.run(until=151.0)
+    assert svc.lookup("s") is None
+    assert svc.live_records() == ()
+
+
+def test_reregistration_refreshes():
+    env = Environment()
+    svc = InformationService(env, ttl_s=100.0)
+    svc.register("s", cpus=10)
+    env.run(until=90.0)
+    svc.register("s", cpus=10)
+    env.run(until=150.0)
+    assert svc.lookup("s") is not None
+
+
+def test_site_catalog_maps_advertised_cpus():
+    env = Environment()
+    svc = InformationService(env)
+    svc.register("a", cpus=100)
+    svc.register("b", cpus=50)
+    assert svc.site_catalog() == {"a": 100, "b": 50}
+
+
+def make_grid(env):
+    grid = Grid(env, RngStreams(0))
+    grid.add_site(SiteSpec("big", n_cpus=10, advertised_cpus=100,
+                           background_utilization=0.0))
+    grid.add_site(SiteSpec("small", n_cpus=5,
+                           background_utilization=0.0))
+    return grid
+
+
+def test_refresher_reports_advertised_not_actual():
+    env = Environment()
+    grid = make_grid(env)
+    svc = InformationService(env, ttl_s=1800.0)
+    svc.start_refresher(grid, interval_s=600.0)
+    env.run(until=1.0)
+    catalog = svc.site_catalog()
+    assert catalog == {"big": 100, "small": 5}  # the self-reported claim
+
+
+def test_down_site_decays_out_blackhole_does_not():
+    env = Environment()
+    grid = make_grid(env)
+    svc = InformationService(env, ttl_s=900.0)
+    svc.start_refresher(grid, interval_s=300.0)
+    env.run(until=1.0)
+    grid.site("big").set_state(SiteState.DOWN)
+    grid.site("small").set_state(SiteState.BLACKHOLE)
+    env.run(until=2000.0)
+    catalog = svc.site_catalog()
+    assert "big" not in catalog          # dead daemon decayed out
+    assert "small" in catalog            # blackhole still registers
+
+
+def test_recovered_site_reappears():
+    env = Environment()
+    grid = make_grid(env)
+    svc = InformationService(env, ttl_s=900.0)
+    svc.start_refresher(grid, interval_s=300.0)
+    grid.site("big").set_state(SiteState.DOWN)
+    env.run(until=1500.0)
+    assert "big" not in svc.site_catalog()
+    grid.site("big").set_state(SiteState.UP)
+    env.run(until=2200.0)
+    assert "big" in svc.site_catalog()
+
+
+def test_expose_on_rpc_bus():
+    from repro.services import RpcBus
+
+    env = Environment()
+    svc = InformationService(env)
+    svc.register("a", cpus=42, storage_mb=10.0)
+    bus = RpcBus(env)
+    svc.expose(bus)
+    out = {}
+
+    def caller(env):
+        out["catalog"] = yield bus.call("p", "mds", "site_catalog")
+        out["rec"] = yield bus.call("p", "mds", "lookup", "a")
+        out["ghost"] = yield bus.call("p", "mds", "lookup", "ghost")
+
+    env.process(caller(env))
+    env.run()
+    assert out["catalog"] == {"a": 42}
+    assert out["rec"] == {"site": "a", "cpus": 42, "storage_mb": 10.0}
+    assert out["ghost"] is None

@@ -1,0 +1,170 @@
+"""Unit tests for the GSI RPC transport."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.services import RpcBus, RpcFault
+
+
+def call_sync(env, bus, *args, **kwargs):
+    """Drive a call to completion and return (ok, value_or_fault)."""
+    result = {}
+
+    def caller(env):
+        try:
+            value = yield bus.call(*args, **kwargs)
+            result["value"] = value
+        except RpcFault as fault:
+            result["fault"] = fault
+
+    env.process(caller(env))
+    env.run()
+    return result
+
+
+def test_latency_validation():
+    with pytest.raises(ValueError):
+        RpcBus(Environment(), latency_s=-1)
+
+
+def test_basic_call():
+    env = Environment()
+    bus = RpcBus(env)
+    bus.register("math", "add", lambda a, b: a + b)
+    r = call_sync(env, bus, "/VO=x/CN=u", "math", "add", 2, 3)
+    assert r["value"] == 5
+
+
+def test_call_costs_round_trip():
+    env = Environment()
+    bus = RpcBus(env, latency_s=0.5)
+    bus.register("svc", "ping", lambda: "pong")
+    times = {}
+
+    def caller(env):
+        value = yield bus.call("p", "svc", "ping")
+        times["done"] = env.now
+        assert value == "pong"
+
+    env.process(caller(env))
+    env.run()
+    assert times["done"] == pytest.approx(1.0)
+
+
+def test_unknown_service_faults():
+    env = Environment()
+    bus = RpcBus(env)
+    r = call_sync(env, bus, "p", "ghost", "m")
+    assert "unknown service" in str(r["fault"])
+
+
+def test_unknown_method_faults():
+    env = Environment()
+    bus = RpcBus(env)
+    bus.register("svc", "a", lambda: 1)
+    r = call_sync(env, bus, "p", "svc", "b")
+    assert "unknown method" in str(r["fault"])
+
+
+def test_duplicate_registration_rejected():
+    bus = RpcBus(Environment())
+    bus.register("svc", "m", lambda: 1)
+    with pytest.raises(ValueError, match="already registered"):
+        bus.register("svc", "m", lambda: 2)
+
+
+def test_handler_exception_becomes_fault_with_cause():
+    env = Environment()
+    bus = RpcBus(env)
+
+    def bad():
+        raise KeyError("inner")
+
+    bus.register("svc", "bad", bad)
+    r = call_sync(env, bus, "p", "svc", "bad")
+    assert isinstance(r["fault"].cause, KeyError)
+
+
+def test_unserializable_argument_faults():
+    env = Environment()
+    bus = RpcBus(env)
+    bus.register("svc", "m", lambda x: None)
+    r = call_sync(env, bus, "p", "svc", "m", object())
+    assert "not RPC-serializable" in str(r["fault"])
+
+
+def test_unserializable_result_faults():
+    env = Environment()
+    bus = RpcBus(env)
+    bus.register("svc", "m", lambda: {1: "non-string-key"})
+    r = call_sync(env, bus, "p", "svc", "m")
+    assert "fault" in r
+
+
+def test_nested_payloads_allowed():
+    env = Environment()
+    bus = RpcBus(env)
+    bus.register("svc", "echo", lambda x: x)
+    payload = {"jobs": [{"id": "a", "sites": ["x", "y"], "ok": True, "n": 3}]}
+    r = call_sync(env, bus, "p", "svc", "echo", payload)
+    assert r["value"] == payload
+
+
+def test_ignored_fault_does_not_crash_simulation():
+    env = Environment()
+    bus = RpcBus(env)
+    bus.call("p", "ghost", "m")  # fire and forget
+    env.run()  # must not raise
+
+
+class TestAuth:
+    def test_proxy_acl(self):
+        env = Environment()
+        bus = RpcBus(env)
+        bus.register("svc", "m", lambda: "ok",
+                     allowed_proxies=["/VO=cms/CN=alice"])
+        ok = call_sync(env, bus, "/VO=cms/CN=alice", "svc", "m")
+        assert ok["value"] == "ok"
+        env2 = Environment()
+        bus2 = RpcBus(env2)
+        bus2.register("svc", "m", lambda: "ok",
+                      allowed_proxies=["/VO=cms/CN=alice"])
+        bad = call_sync(env2, bus2, "/VO=cms/CN=eve", "svc", "m")
+        assert "not authorized" in str(bad["fault"])
+
+    def test_vo_acl(self):
+        env = Environment()
+        bus = RpcBus(env)
+        bus.register("svc", "m", lambda: "ok", allowed_vos=["cms"])
+        ok = call_sync(env, bus, "/VO=cms/CN=anyone", "svc", "m")
+        assert ok["value"] == "ok"
+
+    def test_vo_acl_rejects_other_vo(self):
+        env = Environment()
+        bus = RpcBus(env)
+        bus.register("svc", "m", lambda: "ok", allowed_vos=["cms"])
+        bad = call_sync(env, bus, "/VO=atlas/CN=anyone", "svc", "m")
+        assert "not authorized" in str(bad["fault"])
+
+    def test_no_acl_means_open(self):
+        env = Environment()
+        bus = RpcBus(env)
+        bus.register("svc", "m", lambda: "ok")
+        assert call_sync(env, bus, "anything", "svc", "m")["value"] == "ok"
+
+
+def test_call_count_accumulates():
+    env = Environment()
+    bus = RpcBus(env)
+    bus.register("svc", "m", lambda: 1)
+    for _ in range(3):
+        bus.call("p", "svc", "m")
+    env.run()
+    assert bus.call_count == 3
+
+
+def test_services_listing():
+    bus = RpcBus(Environment())
+    bus.register("b", "m", lambda: 1)
+    bus.register("a", "m", lambda: 1)
+    assert bus.services() == ("a", "b")

@@ -1,0 +1,217 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_process_runs_to_completion():
+    env = Environment()
+    trace = []
+
+    def body(env):
+        trace.append(("start", env.now))
+        yield env.timeout(3.0)
+        trace.append(("end", env.now))
+        return "result"
+
+    proc = env.process(body(env))
+    assert env.run(until=proc) == "result"
+    assert trace == [("start", 0.0), ("end", 3.0)]
+
+
+def test_process_return_value_via_event():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+        return 99
+
+    proc = env.process(body(env))
+    env.run()
+    assert proc.value == 99
+
+
+def test_process_joins_another_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5.0)
+        return "child-done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (env.now, result)
+
+    proc = env.process(parent(env))
+    assert env.run(until=proc) == (5.0, "child-done")
+
+
+def test_exception_in_process_propagates_to_run():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+        raise ValueError("inside process")
+
+    env.process(body(env))
+    with pytest.raises(ValueError, match="inside process"):
+        env.run()
+
+
+def test_exception_propagates_to_joining_parent():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise KeyError("child-err")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            return "caught"
+
+    proc = env.process(parent(env))
+    assert env.run(until=proc) == "caught"
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def body(env):
+        yield 42
+
+    env.process(body(env))
+    with pytest.raises(SimulationError, match="may only yield Events"):
+        env.run()
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_interrupt_wakes_waiting_process():
+    env = Environment()
+    trace = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            trace.append((env.now, exc.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert trace == [(2.0, "wake up")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def body(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        return env.now
+
+    def interrupter(env, victim):
+        yield env.timeout(5.0)
+        victim.interrupt()
+
+    proc = env.process(body(env))
+    env.process(interrupter(env, proc))
+    assert env.run(until=proc) == 6.0
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(body(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_is_alive_transitions():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(body(env))
+    assert proc.is_alive
+    env.run()
+    assert not proc.is_alive
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    """A process interrupted away from an event must not be resumed twice
+    when that event later fires."""
+    env = Environment()
+    resumptions = []
+
+    def body(env):
+        try:
+            yield env.timeout(10.0)
+            resumptions.append("timeout")
+        except Interrupt:
+            resumptions.append("interrupt")
+        yield env.timeout(50.0)
+        resumptions.append("second-wait")
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    proc = env.process(body(env))
+    env.process(interrupter(env, proc))
+    env.run()
+    assert resumptions == ["interrupt", "second-wait"]
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    trace = []
+
+    def ticker(env, name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            trace.append((env.now, name))
+
+    env.process(ticker(env, "a", 2.0))
+    env.process(ticker(env, "b", 3.0))
+    env.run()
+    # At t=6 both fire; b's timeout was scheduled at t=3, a's at t=4, so b
+    # wins the tie deterministically (insertion order, never hash order).
+    assert trace == [
+        (2.0, "a"),
+        (3.0, "b"),
+        (4.0, "a"),
+        (6.0, "b"),
+        (6.0, "a"),
+        (9.0, "b"),
+    ]
+
+
+def test_process_name_defaults_to_generator_name():
+    env = Environment()
+
+    def my_proc(env):
+        yield env.timeout(0.0)
+
+    proc = env.process(my_proc(env))
+    assert proc.name == "my_proc"
+    env.run()

@@ -1,0 +1,224 @@
+"""Unit tests for Resource / Store / PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store, PriorityStore
+from repro.sim.engine import SimulationError
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grants = []
+
+    def worker(env, res, name, hold):
+        req = res.request()
+        yield req
+        grants.append((env.now, name))
+        yield env.timeout(hold)
+        res.release(req)
+
+    env.process(worker(env, res, "a", 5.0))
+    env.process(worker(env, res, "b", 5.0))
+    env.process(worker(env, res, "c", 5.0))
+    env.run()
+    assert grants == [(0.0, "a"), (0.0, "b"), (5.0, "c")]
+
+
+def test_resource_count_and_queued():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    env.process(holder(env, res))
+    env.process(holder(env, res))
+    env.run(until=1.0)
+    assert res.count == 1
+    assert res.queued == 1
+    env.run()
+    assert res.count == 0 and res.queued == 0
+
+
+def test_resource_priority_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, res, name, prio):
+        req = res.request(priority=prio)
+        yield req
+        order.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    def spawn(env):
+        first = res.request()
+        yield first  # occupy the slot so others queue
+        env.process(worker(env, res, "low", 10))
+        env.process(worker(env, res, "high", 0))
+        env.process(worker(env, res, "mid", 5))
+        yield env.timeout(1.0)
+        res.release(first)
+
+    env.process(spawn(env))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_release_unheld_request_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    other = res.request()  # queued, not granted
+    env.run()
+    with pytest.raises(SimulationError):
+        res.release(other)
+    res.release(req)
+
+
+def test_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()
+    queued = res.request()
+    res.cancel(queued)
+    assert res.queued == 0
+    with pytest.raises(SimulationError):
+        res.cancel(queued)
+    env.run()
+    res.release(held)
+
+
+def test_resize_up_grants_waiters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    second = res.request()
+    assert res.queued == 1
+    res.resize(2)
+    assert res.queued == 0
+    env.run()
+    assert second.triggered
+
+
+def test_resize_down_does_not_evict():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    a = res.request()
+    b = res.request()
+    env.run()
+    res.resize(1)
+    assert res.count == 2  # both holders keep their slots
+    res.release(a)
+    res.release(b)
+    # New request only granted when under the new capacity
+    c = res.request()
+    env.run()
+    assert c.triggered
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(consumer(env, store))
+    for x in ("first", "second", "third"):
+        store.put(x)
+    env.run()
+    assert got == ["first", "second", "third"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(4.0)
+        store.put("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [(4.0, "late")]
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)
+
+
+def test_priority_store_returns_smallest():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store.put(5)
+    store.put(1)
+    store.put(3)
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [1, 3, 5]
+
+
+def test_priority_store_with_key():
+    env = Environment()
+    store = PriorityStore(env, key=lambda job: job["prio"])
+    got = []
+
+    def consumer(env, store):
+        for _ in range(2):
+            item = yield store.get()
+            got.append(item["name"])
+
+    store.put({"name": "low", "prio": 9})
+    store.put({"name": "high", "prio": 1})
+    env.process(consumer(env, store))
+    env.run()
+    assert got == ["high", "low"]
+
+
+def test_priority_store_stable_for_equal_keys():
+    env = Environment()
+    store = PriorityStore(env, key=lambda x: 0)
+    got = []
+
+    def consumer(env, store):
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    for name in ("a", "b", "c"):
+        store.put(name)
+    env.process(consumer(env, store))
+    env.run()
+    assert got == ["a", "b", "c"]

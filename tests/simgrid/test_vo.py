@@ -1,0 +1,39 @@
+"""Unit tests for VOs and users."""
+
+import pytest
+
+from repro.simgrid import User, VirtualOrganization
+
+
+def test_vo_name_required():
+    with pytest.raises(ValueError):
+        VirtualOrganization("")
+
+
+def test_user_name_required():
+    with pytest.raises(ValueError):
+        User("", VirtualOrganization("uscms"))
+
+
+def test_proxy_format():
+    u = User("alice", VirtualOrganization("uscms"))
+    assert u.proxy == "/VO=uscms/CN=alice"
+
+
+def test_default_priority():
+    assert User("a", VirtualOrganization("v")).priority == 10
+
+
+def test_vo_hashable_and_frozen():
+    a = VirtualOrganization("x")
+    b = VirtualOrganization("x")
+    assert a == b and hash(a) == hash(b)
+    with pytest.raises(AttributeError):
+        a.name = "y"
+
+
+def test_users_in_same_vo_share_vo_identity():
+    vo = VirtualOrganization("atlas")
+    u1, u2 = User("a", vo), User("b", vo)
+    assert u1.vo == u2.vo
+    assert u1 != u2

@@ -1,0 +1,75 @@
+"""Unit tests for DAG/workload structural analysis."""
+
+import pytest
+
+from repro.sim.rng import RngStreams
+from repro.workflow import Dag, Job, LogicalFile, WorkloadGenerator, WorkloadSpec
+from repro.workflow.analysis import dag_shape, workload_summary
+
+
+def lf(name, size=1.0):
+    return LogicalFile(name, size)
+
+
+def chain3():
+    return Dag("c", [
+        Job("a", inputs=(lf("raw", 10.0),), outputs=(lf("a.out", 2.0),)),
+        Job("b", inputs=(lf("a.out"),), outputs=(lf("b.out", 3.0),)),
+        Job("c", inputs=(lf("b.out"),), outputs=(lf("c.out", 4.0),)),
+    ])
+
+
+def diamond():
+    return Dag("d", [
+        Job("a", outputs=(lf("a.out"),)),
+        Job("b", inputs=(lf("a.out"),), outputs=(lf("b.out"),)),
+        Job("c", inputs=(lf("a.out"),), outputs=(lf("c.out"),)),
+        Job("d", inputs=(lf("b.out"), lf("c.out")), outputs=(lf("d.out"),)),
+    ])
+
+
+class TestDagShape:
+    def test_chain(self):
+        s = dag_shape(chain3())
+        assert (s.n_jobs, s.n_edges, s.depth, s.width) == (3, 2, 3, 1)
+        assert s.n_roots == 1 and s.n_leaves == 1
+        assert s.total_compute_s == 180.0
+        assert s.critical_path_s == 180.0
+        assert s.parallelism == 1.0
+        assert s.external_input_mb == 10.0
+        assert s.total_output_mb == 9.0
+
+    def test_diamond(self):
+        s = dag_shape(diamond())
+        assert (s.depth, s.width) == (3, 2)
+        assert s.n_edges == 4
+        assert s.parallelism == pytest.approx(240.0 / 180.0)
+
+    def test_independent_jobs(self):
+        d = Dag("flat", [Job(f"j{i}", outputs=(lf(f"o{i}"),))
+                         for i in range(4)])
+        s = dag_shape(d)
+        assert (s.depth, s.width) == (1, 4)
+        assert s.parallelism == 4.0
+
+
+class TestWorkloadSummary:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            workload_summary([])
+
+    def test_aggregates(self):
+        summary = workload_summary([chain3(), diamond()])
+        assert summary["n_dags"] == 2
+        assert summary["total_jobs"] == 7
+        assert summary["mean_depth"] == 3.0
+
+    def test_generated_workload_shape(self):
+        gen = WorkloadGenerator(RngStreams(0).stream("w"))
+        dags = gen.generate(WorkloadSpec(n_dags=20))
+        summary = workload_summary(dags)
+        assert summary["total_jobs"] == 200
+        # Random-structure DAGs: real dependencies, real parallelism.
+        assert summary["mean_depth"] > 1.5
+        assert summary["mean_parallelism"] > 1.2
+        assert summary["mean_edges"] > 3

@@ -1,0 +1,49 @@
+"""Unit tests for the logical file model."""
+
+import pytest
+
+from repro.workflow import LogicalFile
+
+
+def test_basic_construction():
+    f = LogicalFile("run17.raw", size_mb=120.0)
+    assert f.lfn == "run17.raw"
+    assert f.size_mb == 120.0
+
+
+def test_default_size_zero():
+    assert LogicalFile("x").size_mb == 0.0
+
+
+def test_empty_lfn_rejected():
+    with pytest.raises(ValueError):
+        LogicalFile("")
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        LogicalFile("x", size_mb=-1.0)
+
+
+def test_equality_is_by_lfn_only():
+    assert LogicalFile("x", 1.0) == LogicalFile("x", 2.0)
+    assert LogicalFile("x") != LogicalFile("y")
+
+
+def test_hash_consistent_with_equality():
+    s = {LogicalFile("x", 1.0), LogicalFile("x", 2.0), LogicalFile("y")}
+    assert len(s) == 2
+
+
+def test_not_equal_to_plain_string():
+    assert LogicalFile("x") != "x"
+
+
+def test_immutable():
+    f = LogicalFile("x")
+    with pytest.raises(AttributeError):
+        f.lfn = "y"
+
+
+def test_str_is_lfn():
+    assert str(LogicalFile("data.root")) == "data.root"

@@ -1,0 +1,146 @@
+"""Unit and property tests for the random workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStreams
+from repro.workflow import WorkloadGenerator, WorkloadSpec
+
+
+def make_gen(seed=0, **kw):
+    return WorkloadGenerator(RngStreams(seed).stream("workload"), **kw)
+
+
+class TestWorkloadSpec:
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec()
+        assert spec.jobs_per_dag == 10
+        assert spec.runtime_s == 60.0
+        assert (spec.min_inputs, spec.max_inputs) == (2, 3)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_dags=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(jobs_per_dag=0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(min_inputs=3, max_inputs=2)
+        with pytest.raises(ValueError):
+            WorkloadSpec(min_inputs=0)
+
+    def test_invalid_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(runtime_s=-1)
+
+
+class TestGenerator:
+    def test_p_internal_validation(self):
+        with pytest.raises(ValueError):
+            make_gen(p_internal=1.5)
+
+    def test_dag_count_and_size(self):
+        dags = make_gen().generate(WorkloadSpec(n_dags=5, jobs_per_dag=10))
+        assert len(dags) == 5
+        assert all(len(d) == 10 for d in dags)
+
+    def test_dag_ids_sequential(self):
+        dags = make_gen().generate(WorkloadSpec(n_dags=3), name_prefix="w")
+        assert [d.dag_id for d in dags] == ["w-0000", "w-0001", "w-0002"]
+
+    def test_each_job_has_two_or_three_inputs(self):
+        dags = make_gen().generate(WorkloadSpec(n_dags=10))
+        for d in dags:
+            for job in d:
+                assert 2 <= len(job.inputs) <= 3
+
+    def test_each_job_has_one_output(self):
+        for d in make_gen().generate(WorkloadSpec(n_dags=5)):
+            for job in d:
+                assert len(job.outputs) == 1
+
+    def test_identical_runtimes_by_default(self):
+        for d in make_gen().generate(WorkloadSpec(n_dags=3)):
+            assert all(j.runtime_s == 60.0 for j in d)
+
+    def test_output_sizes_vary(self):
+        d = make_gen().generate_dag(WorkloadSpec(), "x")
+        sizes = {j.outputs[0].size_mb for j in d}
+        assert len(sizes) > 1  # "size of output file is different for each job"
+
+    def test_deterministic_given_seed(self):
+        a = make_gen(seed=5).generate_dag(WorkloadSpec(), "d")
+        b = make_gen(seed=5).generate_dag(WorkloadSpec(), "d")
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+        assert [j.outputs[0].size_mb for j in a] == [j.outputs[0].size_mb for j in b]
+        assert [[f.lfn for f in j.inputs] for j in a] == [
+            [f.lfn for f in j.inputs] for j in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = make_gen(seed=1).generate_dag(WorkloadSpec(), "d")
+        b = make_gen(seed=2).generate_dag(WorkloadSpec(), "d")
+        sizes_a = [j.outputs[0].size_mb for j in a]
+        sizes_b = [j.outputs[0].size_mb for j in b]
+        assert sizes_a != sizes_b
+
+    def test_internal_edges_exist(self):
+        """With p_internal=0.7 a 10-job DAG should have real dependencies."""
+        dags = make_gen().generate(WorkloadSpec(n_dags=10))
+        assert any(
+            any(d.parents(jid) for jid in d.job_ids) for d in dags
+        )
+
+    def test_p_internal_zero_yields_independent_jobs(self):
+        d = make_gen(p_internal=0.0).generate_dag(WorkloadSpec(), "flat")
+        assert all(not d.parents(jid) for jid in d.job_ids)
+
+    def test_runtime_classes_mixture(self):
+        spec = WorkloadSpec(
+            n_dags=1,
+            jobs_per_dag=200,
+            runtime_classes=[(30.0, 0.5), (300.0, 0.5)],
+        )
+        d = make_gen().generate_dag(spec, "mix")
+        runtimes = {j.runtime_s for j in d}
+        assert runtimes == {30.0, 300.0}
+
+    def test_runtime_cv_produces_spread(self):
+        spec = WorkloadSpec(n_dags=1, jobs_per_dag=100, runtime_cv=0.5)
+        d = make_gen().generate_dag(spec, "cv")
+        rts = np.array([j.runtime_s for j in d])
+        assert rts.std() > 0
+        # Mean should be near the nominal 60 s.
+        assert 40 < rts.mean() < 90
+
+    def test_requirements_propagated(self):
+        spec = WorkloadSpec(requirements={"cpu_seconds": 60.0, "disk_mb": 10.0})
+        d = make_gen().generate_dag(spec, "q")
+        for j in d:
+            assert j.requirements == {"cpu_seconds": 60.0, "disk_mb": 10.0}
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_jobs=st.integers(1, 25),
+    p_internal=st.floats(0.0, 1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_generated_dags_always_valid(seed, n_jobs, p_internal):
+    """Any generated DAG is acyclic, sized right, with 2-3 inputs/job.
+
+    Dag() itself raises on cycles/duplicate writers, so successful
+    construction is the invariant.
+    """
+    gen = WorkloadGenerator(
+        RngStreams(seed).stream("workload"), p_internal=p_internal
+    )
+    d = gen.generate_dag(WorkloadSpec(jobs_per_dag=n_jobs), "prop")
+    assert len(d) == n_jobs
+    assert len(d.job_ids) == n_jobs
+    for job in d:
+        assert 2 <= len(job.inputs) <= 3
+        assert job.runtime_s > 0

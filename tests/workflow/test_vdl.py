@@ -1,0 +1,107 @@
+"""Unit tests for the miniature virtual-data language."""
+
+import pytest
+
+from repro.workflow import VdlCatalog, VdlError
+
+
+def hep_catalog():
+    """A 3-stage HEP-style pipeline: gen -> sim -> reco."""
+    cat = VdlCatalog()
+    cat.define_transformation("gen", inputs=[], outputs=["events"], runtime_s=30)
+    cat.define_transformation("sim", inputs=["events"], outputs=["hits"], runtime_s=120)
+    cat.define_transformation("reco", inputs=["hits"], outputs=["tracks"], runtime_s=60)
+    cat.add_derivation("gen", {"events": "run1.evt"}, derivation_id="gen1")
+    cat.add_derivation("sim", {"events": "run1.evt", "hits": "run1.hits"},
+                       derivation_id="sim1")
+    cat.add_derivation("reco", {"hits": "run1.hits", "tracks": "run1.trk"},
+                       derivation_id="reco1")
+    return cat
+
+
+def test_compile_builds_chain():
+    dag = hep_catalog().compile("run1")
+    assert len(dag) == 3
+    assert dag.parents("sim1") == ("gen1",)
+    assert dag.parents("reco1") == ("sim1",)
+    assert dag.roots == ("gen1",)
+
+
+def test_runtime_comes_from_transformation():
+    dag = hep_catalog().compile("run1")
+    assert dag.job("sim1").runtime_s == 120
+
+
+def test_duplicate_transformation_rejected():
+    cat = VdlCatalog()
+    cat.define_transformation("t", inputs=[], outputs=["x"])
+    with pytest.raises(VdlError, match="already defined"):
+        cat.define_transformation("t", inputs=[], outputs=["y"])
+
+
+def test_transformation_without_outputs_rejected():
+    with pytest.raises(VdlError, match="produces nothing"):
+        VdlCatalog().define_transformation("t", inputs=["a"], outputs=[])
+
+
+def test_duplicate_formals_rejected():
+    with pytest.raises(VdlError, match="duplicate formal"):
+        VdlCatalog().define_transformation("t", inputs=["a"], outputs=["a"])
+
+
+def test_unknown_transformation_rejected():
+    with pytest.raises(VdlError, match="unknown transformation"):
+        VdlCatalog().add_derivation("nope", {})
+
+
+def test_missing_binding_rejected():
+    cat = VdlCatalog()
+    cat.define_transformation("t", inputs=["a"], outputs=["b"])
+    with pytest.raises(VdlError, match="missing bindings"):
+        cat.add_derivation("t", {"a": "x"})
+
+
+def test_extra_binding_rejected():
+    cat = VdlCatalog()
+    cat.define_transformation("t", inputs=[], outputs=["b"])
+    with pytest.raises(VdlError, match="unknown formals"):
+        cat.add_derivation("t", {"b": "x", "zz": "y"})
+
+
+def test_compile_empty_catalog_rejected():
+    with pytest.raises(VdlError, match="no derivations"):
+        VdlCatalog().compile("d")
+
+
+def test_file_sizes_flow_to_dag():
+    cat = VdlCatalog()
+    cat.define_transformation("t", inputs=["a"], outputs=["b"])
+    cat.add_derivation(
+        "t", {"a": "in.dat", "b": "out.dat"},
+        file_sizes_mb={"in.dat": 10.0, "out.dat": 20.0},
+        derivation_id="d0",
+    )
+    dag = cat.compile("d")
+    assert dag.job("d0").inputs[0].size_mb == 10.0
+    assert dag.job("d0").outputs[0].size_mb == 20.0
+
+
+def test_default_derivation_ids_unique():
+    cat = VdlCatalog()
+    cat.define_transformation("t", inputs=[], outputs=["b"])
+    d0 = cat.add_derivation("t", {"b": "x"})
+    cat.define_transformation("u", inputs=["b"], outputs=["c"])
+    d1 = cat.add_derivation("u", {"b": "x", "c": "y"})
+    assert d0.derivation_id != d1.derivation_id
+
+
+def test_fan_out_compiles():
+    """One generator feeding two analyses: a -> (b, c)."""
+    cat = VdlCatalog()
+    cat.define_transformation("gen", inputs=[], outputs=["data"])
+    cat.define_transformation("ana", inputs=["data"], outputs=["result"])
+    cat.add_derivation("gen", {"data": "d.dat"}, derivation_id="g")
+    cat.add_derivation("ana", {"data": "d.dat", "result": "r1"}, derivation_id="a1")
+    cat.add_derivation("ana", {"data": "d.dat", "result": "r2"}, derivation_id="a2")
+    dag = cat.compile("fan")
+    assert set(dag.children("g")) == {"a1", "a2"}
