@@ -7,26 +7,35 @@ Usage::
     python -m repro fig6
     python -m repro fig7
     python -m repro fig8
+    python -m repro suite [--workers 4] [--scale 0.25] [--only fig2 ...]
     python -m repro list-algorithms
 
 Each figure command runs the corresponding experiment and prints the
-paper-style table to stdout.
+paper-style table to stdout.  ``suite`` runs every figure plus the
+ablations — fanned over a process pool — and writes BENCH_SUITE.json
+(per-figure wall-clock, kernel event counts, events/second, headline
+metrics); metrics are bit-identical at any worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.core.algorithms import available_algorithms
 from repro.experiments import (
+    default_suite,
     fig2_feedback,
     fig3_algorithms,
     fig6_site_distribution,
     fig7_policy,
     fig8_timeouts,
     format_table,
+    run_suite,
+    suite_payload,
 )
 from repro.experiments.figures import ALGORITHM_LINEUP
 
@@ -54,6 +63,23 @@ def build_parser() -> argparse.ArgumentParser:
         "fig6", help="site-wise distribution vs avg completion"), 120)
     _add_common(sub.add_parser("fig7", help="policy-constrained runs"), 120)
     _add_common(sub.add_parser("fig8", help="timeout counts"), 120)
+    suite = sub.add_parser(
+        "suite", help="run every figure + ablation; write BENCH_SUITE.json")
+    suite.add_argument(
+        "--workers", type=int, default=max(os.cpu_count() or 1, 1),
+        help="worker processes (default: CPU count; 1 = in-process)")
+    suite.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        help="workload scale factor (default: $REPRO_BENCH_SCALE or 1.0)")
+    suite.add_argument("--seed", type=int, default=42, help="experiment seed")
+    suite.add_argument(
+        "--output", default="BENCH_SUITE.json",
+        help="where to write the JSON report (default: BENCH_SUITE.json)")
+    suite.add_argument(
+        "--only", nargs="*", default=None, metavar="CASE",
+        help="run only cases whose name starts with one of these "
+             "(e.g. fig2 fig5 ablation)")
     sub.add_parser("list-algorithms", help="show available algorithms")
     return parser
 
@@ -72,6 +98,55 @@ def _print_lineup(result, labels) -> None:
     ))
 
 
+def _run_suite_command(args) -> int:
+    if args.workers < 1:
+        print("repro suite: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.scale <= 0:
+        print("repro suite: --scale must be > 0", file=sys.stderr)
+        return 2
+    cases = default_suite(scale=args.scale, seed=args.seed)
+    if args.only:
+        cases = tuple(
+            c for c in cases
+            if any(c.name.startswith(prefix) for prefix in args.only)
+        )
+        if not cases:
+            print(f"no suite cases match {args.only}", file=sys.stderr)
+            return 2
+    runs = run_suite(cases, workers=args.workers)
+    payload = suite_payload(runs, scale=args.scale, workers=args.workers)
+
+    rows = []
+    for run in runs:
+        fig = payload["figures"][run.name]
+        best = min(
+            (s for s in fig["servers"].values()
+             if s["avg_dag_completion_s"] is not None),
+            key=lambda s: s["avg_dag_completion_s"],
+            default=None,
+        )
+        rows.append([
+            run.name,
+            f"{run.wall_s:.2f}",
+            fig["event_count"],
+            f"{fig['events_per_s']:.0f}" if fig["events_per_s"] else "-",
+            f"{best['avg_dag_completion_s']:.0f}" if best else "-",
+        ])
+    print(format_table(
+        ["case", "wall (s)", "events", "events/s", "best avg dag (s)"],
+        rows,
+        title=(f"suite: {len(runs)} cases, scale={args.scale:g}, "
+               f"workers={args.workers}, "
+               f"total wall {payload['total_wall_s']:.1f}s"),
+    ))
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     horizon = getattr(args, "horizon_hours", 36.0) * 3600.0
@@ -80,6 +155,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in available_algorithms():
             print(name)
         return 0
+
+    if args.command == "suite":
+        return _run_suite_command(args)
 
     if args.command == "fig2":
         result = fig2_feedback(n_dags=args.dags, seed=args.seed,

@@ -66,6 +66,10 @@ class SphinxClient:
         self.dag_times: dict[str, list[Optional[float]]] = {}
         self._grid_ids = itertools.count()
         self.submitted_dags = 0
+        #: settles (with the sim time) the moment the last submitted DAG
+        #: is reported finished — what the runner waits on, so runs end
+        #: at the true completion instant rather than a poll boundary.
+        self.done = env.event()
         self._proc = env.process(self._poll_loop())
 
     # -- user-facing API --------------------------------------------------------
@@ -123,6 +127,8 @@ class SphinxClient:
                     times = self.dag_times.get(msg["payload"]["dag_id"])
                     if times is not None:
                         times[1] = self.env.now
+            if messages and not self.done.triggered and self.all_dags_finished():
+                self.done.succeed(self.env.now)
             yield self.env.timeout(self.poll_s)
 
     # -- plan execution --------------------------------------------------------------

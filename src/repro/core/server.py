@@ -42,6 +42,20 @@ from repro.workflow.dag import Dag
 
 __all__ = ["ServerConfig", "SphinxServer"]
 
+# Enum .value lookups cost a descriptor call each; the control loop
+# compares job/dag states hundreds of thousands of times per run, so the
+# string values are hoisted to module constants.
+_JOB_UNPLANNED = JobState.UNPLANNED.value
+_JOB_PLANNED = JobState.PLANNED.value
+_JOB_SUBMITTED = JobState.SUBMITTED.value
+_JOB_FINISHED = JobState.FINISHED.value
+_JOB_CANCELLED = JobState.CANCELLED.value
+_JOB_REMOVED = JobState.REMOVED.value
+_JOB_DONE_STATES = (_JOB_FINISHED, _JOB_REMOVED)
+_DAG_RECEIVED = DagState.RECEIVED.value
+_DAG_RUNNING = DagState.RUNNING.value
+_DAG_FINISHED = DagState.FINISHED.value
+
 
 @dataclass(slots=True)
 class ServerConfig:
@@ -117,6 +131,17 @@ class SphinxServer:
             s: [0, 0] for s in self.site_catalog
         }
         self._rebuild_site_counters()
+        #: dag_ids whose ready set may have changed since the last
+        #: planner pass (new RUNNING dag, job finished/cancelled, or a
+        #: ready job left unplanned — quota/feedback may free up).  The
+        #: planner only walks these instead of every RUNNING dag.
+        #: Seeded with every unfinished dag, which covers recovery.
+        self._dirty_dags: set[str] = {
+            r["dag_id"]
+            for r in self.warehouse.table("dags").select(
+                predicate=lambda r: r["state"] != _DAG_FINISHED, copy=False
+            )
+        }
 
         # Counters the experiments read.
         self.resubmission_count = 0
@@ -166,6 +191,11 @@ class SphinxServer:
                 ("msg_id", "client_id", "kind", "payload"),
                 key="msg_id",
             )
+        # ensure_index is idempotent and builds from existing rows, so
+        # this also covers warehouses restored from a checkpoint.
+        w.table("dags").ensure_index("state")
+        w.table("jobs").ensure_index("state")
+        w.table("outbox").ensure_index("client_id")
 
     # ------------------------------------------------------------- RPC handlers
     def _rpc_submit_dag(self, client_id: str, user: str,
@@ -217,24 +247,24 @@ class SphinxServer:
     ) -> str:
         """Tracker report ingestion (feedback + prediction + automaton)."""
         jobs = self.warehouse.table("jobs")
-        row = jobs.get(job_id)
+        row = jobs.get(job_id, copy=False)
         if row is None:
             raise KeyError(f"unknown job {job_id!r}")
         if status == "running":
-            if (row["state"] == JobState.PLANNED.value
+            if (row["state"] == _JOB_PLANNED
                     and row["last_status"] != "running"):
-                jobs.update(job_id, state=JobState.SUBMITTED.value,
+                jobs.update(job_id, state=_JOB_SUBMITTED,
                             last_status="running")
                 self._count_transition(site, planned=-1, running=+1)
-            elif row["state"] == JobState.SUBMITTED.value:
+            elif row["state"] == _JOB_SUBMITTED:
                 jobs.update(job_id, last_status="running")
         elif status == "completed":
-            if row["state"] == JobState.FINISHED.value:
+            if row["state"] == _JOB_FINISHED:
                 return "duplicate"
             self._release_active(row, site)
             jobs.update(
                 job_id,
-                state=JobState.FINISHED.value,
+                state=_JOB_FINISHED,
                 last_status="completed",
                 finished_at=self.env.now,
                 completion_time_s=completion_time_s,
@@ -242,18 +272,20 @@ class SphinxServer:
             self.feedback.record_completion(site)
             if completion_time_s is not None:
                 self.estimator.record(site, completion_time_s)
+            # A completion may unlock successors: replan this dag.
+            self._dirty_dags.add(row["dag_id"])
             self._maybe_finish_dag(row["dag_id"])
         elif status == "cancelled":
-            if row["state"] in (JobState.FINISHED.value,
-                                JobState.CANCELLED.value):
+            if row["state"] in (_JOB_FINISHED, _JOB_CANCELLED):
                 return "duplicate"
             self._release_active(row, site)
             jobs.update(
                 job_id,
-                state=JobState.CANCELLED.value,
+                state=_JOB_CANCELLED,
                 last_status=reason or "cancelled",
                 site=None,
             )
+            self._dirty_dags.add(row["dag_id"])
             if reason == "stage-in":
                 # A missing *source* replica is not the execution site's
                 # fault; penalizing it would poison the reliability pool.
@@ -280,7 +312,9 @@ class SphinxServer:
     def _rpc_fetch_messages(self, client_id: str) -> list[dict]:
         """Drain this client's outgoing messages, oldest first."""
         outbox = self.warehouse.table("outbox")
-        mine = outbox.select(where={"client_id": client_id})
+        # copy=False is safe: delete() unlinks the dicts from the table
+        # but they stay readable for building the reply below.
+        mine = outbox.select(where={"client_id": client_id}, copy=False)
         for msg in mine:
             outbox.delete(msg["msg_id"])
         return [
@@ -319,47 +353,68 @@ class SphinxServer:
     def _reduce_new_dags(self) -> None:
         dags = self.warehouse.table("dags")
         jobs = self.warehouse.table("jobs")
-        for row in dags.select(where={"state": DagState.RECEIVED.value}):
+        for row in dags.select(where={"state": _DAG_RECEIVED}):
             dag_id = row["dag_id"]
             dags.update(dag_id, state=DagState.REDUCING.value)
             dag = self._dag(dag_id)
             removable = self.reducer.removable_jobs(dag)
             for jid in removable:
-                jobs.update(jid, state=JobState.REMOVED.value,
+                jobs.update(jid, state=_JOB_REMOVED,
                             finished_at=self.env.now)
             if len(removable) == len(dag):
-                dags.update(dag_id, state=DagState.FINISHED.value,
+                dags.update(dag_id, state=_DAG_FINISHED,
                             finished_at=self.env.now)
                 self._notify_dag_finished(row["client_id"], dag_id)
             else:
                 dags.update(dag_id, state=DagState.REDUCED.value)
-                dags.update(dag_id, state=DagState.RUNNING.value)
+                dags.update(dag_id, state=_DAG_RUNNING)
+                self._dirty_dags.add(dag_id)
 
     # -------------------------------------------------------------------- planner
     def _plan_ready_jobs(self) -> None:
+        """Plan ready jobs of every *dirty* RUNNING dag.
+
+        A clean dag cannot grow new ready jobs between ticks (that takes
+        a completion or cancellation, which dirty it), so quiescent dags
+        cost nothing per tick.  A dag stays dirty while any of its ready
+        jobs could not be planned — quota or feedback may change.
+        """
+        dirty = self._dirty_dags
+        if not dirty:
+            return
         dags = self.warehouse.table("dags")
         jobs = self.warehouse.table("jobs")
-        running = dags.select(where={"state": DagState.RUNNING.value})
+        running = []
+        for dag_id in dirty:
+            drow = dags.get(dag_id, copy=False)
+            if drow is not None and drow["state"] == _DAG_RUNNING:
+                running.append(drow)
         # Serve higher-priority users first; FIFO within a priority.
         running.sort(
             key=lambda r: (r["priority"], r["received_at"], r["dag_id"])
         )
+        still_dirty: set[str] = set()
+        rows_get = jobs._rows.get
         for drow in running:
             dag = self._dag(drow["dag_id"])
             done = [
                 jid
                 for jid in dag.job_ids
-                if jobs.get(jid)["state"]
-                in (JobState.FINISHED.value, JobState.REMOVED.value)
+                if rows_get(jid)["state"] in _JOB_DONE_STATES
             ]
+            fully_planned = True
             for jid in dag.ready_jobs(done):
-                jrow = jobs.get(jid)
-                if jrow["state"] not in (JobState.UNPLANNED.value,
-                                         JobState.CANCELLED.value):
+                jrow = rows_get(jid)
+                if jrow["state"] not in (_JOB_UNPLANNED, _JOB_CANCELLED):
                     continue  # already planned/submitted
-                self._plan_job(drow, dag, jrow)
+                if not self._plan_job(drow, dag, jrow):
+                    fully_planned = False
+            if not fully_planned:
+                still_dirty.add(drow["dag_id"])
+        self._dirty_dags = still_dirty
 
-    def _plan_job(self, drow: dict, dag: Dag, jrow: dict) -> None:
+    def _plan_job(self, drow: dict, dag: Dag, jrow: dict) -> bool:
+        """Try to place one ready job; False means retry next tick."""
         job = dag.job(jrow["job_id"])
         user = drow["user"]
         candidates = list(self.site_catalog)
@@ -369,21 +424,23 @@ class SphinxServer:
         if self.config.use_feedback:
             candidates = list(self.feedback.reliable_sites(candidates))
         if not candidates:
-            return  # nothing feasible now; retry next tick
+            return False  # nothing feasible now; retry next tick
         views = [self._site_view(s) for s in candidates]
         site = self.algorithm.choose_site(job.job_id, views)
         if site is None:
-            return
+            return False
         try:
             self.policy.charge(user, site, job.requirements)
         except QuotaExceededError:
-            return  # racing reservations; retry next tick
+            return False  # racing reservations; retry next tick
         jobs = self.warehouse.table("jobs")
+        # jrow may be the live row; read attempts before update mutates it.
+        attempt = jrow["attempts"] + 1
         jobs.update(
             job.job_id,
-            state=JobState.PLANNED.value,
+            state=_JOB_PLANNED,
             site=site,
-            attempts=jrow["attempts"] + 1,
+            attempts=attempt,
             planned_at=self.env.now,
             last_status="planned",
         )
@@ -395,7 +452,7 @@ class SphinxServer:
                 "job_id": job.job_id,
                 "dag_id": dag.dag_id,
                 "site": site,
-                "attempt": jrow["attempts"] + 1,
+                "attempt": attempt,
                 "runtime_s": job.runtime_s,
                 "user": user,
                 "inputs": [
@@ -407,6 +464,7 @@ class SphinxServer:
                 "timeout_s": self.config.job_timeout_s,
             },
         )
+        return True
 
     def _site_view(self, site: str) -> SiteView:
         planned, unfinished = self._site_active[site]
@@ -450,10 +508,8 @@ class SphinxServer:
             producer = dag.producer_of(lfn)
             if producer is None:
                 continue  # external input: nothing to re-derive from
-            prow = jobs.get(producer)
-            if prow is None or prow["state"] not in (
-                JobState.FINISHED.value, JobState.REMOVED.value
-            ):
+            prow = jobs.get(producer, copy=False)
+            if prow is None or prow["state"] not in _JOB_DONE_STATES:
                 continue  # already re-running
             # A REMOVED producer was skipped because its output existed
             # in the catalog at reduction time; the replica is gone now,
@@ -467,6 +523,7 @@ class SphinxServer:
                 completion_time_s=None,
             )
             self.regeneration_count += 1
+            self._dirty_dags.add(dag_id)
 
     # -------------------------------------------------------------- bookkeeping
     def _count_transition(self, site: str, planned: int = 0,
@@ -477,10 +534,10 @@ class SphinxServer:
 
     def _release_active(self, row: dict, site: str) -> None:
         """Drop a terminal job from the per-site active counters."""
-        if row["state"] == JobState.SUBMITTED.value or \
+        if row["state"] == _JOB_SUBMITTED or \
                 row["last_status"] == "running":
             self._count_transition(site, running=-1)
-        elif row["state"] == JobState.PLANNED.value:
+        elif row["state"] == _JOB_PLANNED:
             self._count_transition(site, planned=-1)
 
     def _rebuild_site_counters(self) -> None:
@@ -489,8 +546,9 @@ class SphinxServer:
             counters[0] = counters[1] = 0
         for row in self.warehouse.table("jobs").select(
             predicate=lambda r: r["state"] in (
-                JobState.PLANNED.value, JobState.SUBMITTED.value
-            )
+                _JOB_PLANNED, _JOB_SUBMITTED
+            ),
+            copy=False,
         ):
             site = row["site"]
             if site not in self._site_active:
@@ -504,19 +562,14 @@ class SphinxServer:
         jobs = self.warehouse.table("jobs")
         dags = self.warehouse.table("dags")
         dag = self._dag(dag_id)
-        remaining = [
-            jid
-            for jid in dag.job_ids
-            if jobs.get(jid)["state"] not in (
-                JobState.FINISHED.value, JobState.REMOVED.value
-            )
-        ]
-        if remaining:
+        rows_get = jobs._rows.get
+        for jid in dag.job_ids:
+            if rows_get(jid)["state"] not in _JOB_DONE_STATES:
+                return
+        drow = dags.get(dag_id, copy=False)
+        if drow["state"] == _DAG_FINISHED:
             return
-        drow = dags.get(dag_id)
-        if drow["state"] == DagState.FINISHED.value:
-            return
-        dags.update(dag_id, state=DagState.FINISHED.value,
+        dags.update(dag_id, state=_DAG_FINISHED,
                     finished_at=self.env.now)
         self._notify_dag_finished(drow["client_id"], dag_id)
 
@@ -547,7 +600,7 @@ class SphinxServer:
         """dag_id -> completion seconds for every finished DAG."""
         out = {}
         for row in self.warehouse.table("dags").select(
-            where={"state": DagState.FINISHED.value}
+            where={"state": _DAG_FINISHED}, copy=False
         ):
             out[row["dag_id"]] = row["finished_at"] - row["received_at"]
         return out
@@ -556,7 +609,7 @@ class SphinxServer:
         return tuple(
             r["dag_id"]
             for r in self.warehouse.table("dags").select(
-                predicate=lambda r: r["state"] != DagState.FINISHED.value
+                predicate=lambda r: r["state"] != _DAG_FINISHED, copy=False
             )
         )
 
@@ -564,7 +617,7 @@ class SphinxServer:
         """site -> completed-job count (Fig. 6 series)."""
         counts: dict[str, int] = {}
         for row in self.warehouse.table("jobs").select(
-            where={"state": JobState.FINISHED.value}
+            where={"state": _JOB_FINISHED}, copy=False
         ):
             if row["site"] is not None:
                 counts[row["site"]] = counts.get(row["site"], 0) + 1

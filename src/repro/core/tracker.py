@@ -92,7 +92,11 @@ class JobTracker:
                 return self._completed(handle, t0)
             return self._cancelled(handle, reason=status.value)
 
-        # Timeout: cancel remotely, report, request replanning.
+        # Timeout: cancel remotely, report, request replanning.  Drop our
+        # watcher first — cancellation triggers a synchronous KILLED
+        # transition that would otherwise settle the orphaned `terminal`
+        # event, and the callback must not outlive this tracking attempt.
+        handle.off_status_change(_watch)
         self.condorg.cancel(handle.job_id)
         self.stats.timeouts += 1
         return self._cancelled(handle, reason="timeout")

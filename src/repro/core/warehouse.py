@@ -31,7 +31,14 @@ class WarehouseError(RuntimeError):
 
 
 class Table:
-    """One relational table with a declared schema and primary key."""
+    """One relational table with a declared schema and primary key.
+
+    Equality indexes (:meth:`ensure_index`) turn ``select(where=...)``
+    on the indexed column from a full scan into a bucket lookup; the
+    control loop queries ``dags``/``jobs`` by state every tick, so the
+    server indexes those columns.  Indexed or not, results come back in
+    table insertion order (the determinism contract).
+    """
 
     def __init__(self, name: str, columns: Iterable[str], key: str):
         self.name = name
@@ -40,6 +47,27 @@ class Table:
             raise WarehouseError(f"key {key!r} not among columns of {name!r}")
         self.key = key
         self._rows: dict[Any, dict[str, Any]] = {}
+        #: column -> value -> {pk: None}; the inner dict is used as an
+        #: ordered set (membership + cheap removal).
+        self._indexes: dict[str, dict[Any, dict[Any, None]]] = {}
+        #: pk -> insertion sequence number, so indexed selects can be
+        #: re-sorted into exact table insertion order.
+        self._row_seq: dict[Any, int] = {}
+        self._seq = 0
+
+    # -- indexes --------------------------------------------------------------
+    def ensure_index(self, column: str) -> None:
+        """Maintain an equality index on ``column`` (idempotent)."""
+        if column not in self.columns:
+            raise WarehouseError(
+                f"{self.name}: cannot index unknown column {column!r}"
+            )
+        if column in self._indexes:
+            return
+        idx: dict[Any, dict[Any, None]] = {}
+        for pk, row in self._rows.items():
+            idx.setdefault(row[column], {})[pk] = None
+        self._indexes[column] = idx
 
     # -- mutation -------------------------------------------------------------
     def insert(self, row: Mapping[str, Any]) -> None:
@@ -52,7 +80,15 @@ class Table:
         k = row[self.key]
         if k in self._rows:
             raise WarehouseError(f"{self.name}: duplicate key {k!r}")
-        self._rows[k] = dict(row)
+        self._rows[k] = stored = dict(row)
+        self._seq += 1
+        self._row_seq[k] = self._seq
+        for col, idx in self._indexes.items():
+            val = stored[col]
+            bucket = idx.get(val)
+            if bucket is None:
+                bucket = idx[val] = {}
+            bucket[k] = None
 
     def update(self, key: Any, **changes: Any) -> dict[str, Any]:
         row = self._rows.get(key)
@@ -63,6 +99,17 @@ class Table:
             raise WarehouseError(f"{self.name}: unknown columns {sorted(extra)}")
         if self.key in changes and changes[self.key] != key:
             raise WarehouseError(f"{self.name}: cannot change the primary key")
+        for col, idx in self._indexes.items():
+            if col in changes:
+                old, new = row[col], changes[col]
+                if new != old:
+                    bucket = idx.get(old)
+                    if bucket is not None:
+                        bucket.pop(key, None)
+                    new_bucket = idx.get(new)
+                    if new_bucket is None:
+                        new_bucket = idx[new] = {}
+                    new_bucket[key] = None
         row.update(changes)
         return dict(row)
 
@@ -74,31 +121,75 @@ class Table:
             self.insert(row)
 
     def delete(self, key: Any) -> bool:
-        return self._rows.pop(key, None) is not None
+        row = self._rows.pop(key, None)
+        if row is None:
+            return False
+        self._row_seq.pop(key, None)
+        for col, idx in self._indexes.items():
+            bucket = idx.get(row[col])
+            if bucket is not None:
+                bucket.pop(key, None)
+        return True
 
     # -- queries ------------------------------------------------------------------
-    def get(self, key: Any) -> Optional[dict[str, Any]]:
+    def get(self, key: Any, copy: bool = True) -> Optional[dict[str, Any]]:
+        """The row with ``key``, or None.
+
+        ``copy=False`` returns the live row dict — read-only use only
+        (the warehouse's own hot paths); mutating it bypasses index
+        maintenance.
+        """
         row = self._rows.get(key)
-        return dict(row) if row is not None else None
+        if row is None:
+            return None
+        return dict(row) if copy else row
 
     def select(
         self,
         where: Optional[Mapping[str, Any]] = None,
         predicate: Optional[Callable[[dict[str, Any]], bool]] = None,
+        copy: bool = True,
     ) -> list[dict[str, Any]]:
         """Rows matching all equality conditions and the predicate,
-        in insertion order (deterministic)."""
+        in insertion order (deterministic).
+
+        When a ``where`` column is indexed the scan is driven off the
+        index bucket (re-sorted into insertion order) instead of the
+        whole table.  ``copy=False`` returns live row dicts (read-only
+        use only).
+        """
+        rows_src = None
+        if where:
+            for col, val in where.items():
+                idx = self._indexes.get(col)
+                if idx is None:
+                    continue
+                bucket = idx.get(val)
+                if not bucket:
+                    return []
+                row_seq = self._row_seq
+                rows = self._rows
+                rows_src = [
+                    rows[pk] for pk in sorted(bucket, key=row_seq.__getitem__)
+                ]
+                if len(where) == 1:
+                    where = None
+                else:
+                    where = {c: v for c, v in where.items() if c != col}
+                break
+        if rows_src is None:
+            rows_src = self._rows.values()
         out = []
-        for row in self._rows.values():
+        for row in rows_src:
             if where and any(row.get(c) != v for c, v in where.items()):
                 continue
             if predicate and not predicate(row):
                 continue
-            out.append(dict(row))
+            out.append(dict(row) if copy else row)
         return out
 
     def count(self, where: Optional[Mapping[str, Any]] = None) -> int:
-        return len(self.select(where))
+        return len(self.select(where, copy=False))
 
     def __len__(self) -> int:
         return len(self._rows)

@@ -7,6 +7,8 @@
   resources, the paper's pair/group-wise protocol) and runs it,
 * :mod:`repro.experiments.metrics` — per-server result extraction,
 * :mod:`repro.experiments.figures` — one driver per paper figure,
+* :mod:`repro.experiments.parallel` — the process-pool suite runner
+  behind ``repro suite`` and BENCH_SUITE.json,
 * :mod:`repro.experiments.report` — plain-text tables for the bench
   harness and EXPERIMENTS.md.
 """
@@ -25,6 +27,14 @@ from repro.experiments.figures import (
     fig7_policy,
     fig8_timeouts,
 )
+from repro.experiments.parallel import (
+    SuiteCase,
+    SuiteRun,
+    default_suite,
+    headline_metrics,
+    run_suite,
+    suite_payload,
+)
 from repro.experiments.report import format_table
 
 __all__ = [
@@ -32,7 +42,10 @@ __all__ = [
     "Scenario",
     "ServerResult",
     "ServerSpec",
+    "SuiteCase",
+    "SuiteRun",
     "default_fault_windows",
+    "default_suite",
     "fig2_feedback",
     "fig3_algorithms",
     "fig5_pairwise",
@@ -40,5 +53,8 @@ __all__ = [
     "fig7_policy",
     "fig8_timeouts",
     "format_table",
+    "headline_metrics",
     "run_scenario",
+    "run_suite",
+    "suite_payload",
 ]

@@ -1,10 +1,17 @@
 """Per-figure experiment drivers.
 
-Each function assembles the scenario the corresponding paper figure
-used, runs it, and returns both the raw :class:`ExperimentResult` and
-the figure's headline series.  ``n_dags`` defaults to the paper's
-value but is a parameter so tests and quick benchmarks can run scaled-
-down versions with the same shape.
+Each figure has two layers:
+
+* a **scenario builder** (``fig*_scenario``) returning the plain
+  :class:`Scenario` the paper figure used — picklable, so the suite
+  runner (:mod:`repro.experiments.parallel`) can ship it to a worker
+  process;
+* a **driver** (the original ``fig*`` function) that runs the scenario
+  and returns the raw :class:`ExperimentResult` plus any derived
+  series.
+
+``n_dags`` defaults to the paper's value but is a parameter so tests
+and quick benchmarks can run scaled-down versions with the same shape.
 """
 
 from __future__ import annotations
@@ -17,11 +24,18 @@ from repro.experiments.scenarios import Scenario, ServerSpec
 
 __all__ = [
     "fig2_feedback",
+    "fig2_scenario",
     "fig3_algorithms",
+    "fig345_scenario",
     "fig5_pairwise",
+    "fig5_pair_scenario",
     "fig6_site_distribution",
+    "fig6_scenario",
+    "fig6_tables",
     "fig7_policy",
+    "fig7_scenario",
     "fig8_timeouts",
+    "fig8_scenario",
     "ALGORITHM_LINEUP",
 ]
 
@@ -34,14 +48,11 @@ ALGORITHM_LINEUP: tuple[ServerSpec, ...] = (
 )
 
 
-def fig2_feedback(n_dags: int = 30, seed: int = 42,
-                  horizon_s: float = 24 * 3600.0) -> ExperimentResult:
-    """Fig. 2: round-robin and #CPUs, each with and without feedback.
-
-    Expected shape: each with-feedback variant beats its without-
-    feedback twin on average DAG completion time (paper: by 20-29%).
-    """
-    scenario = Scenario(
+# -- scenario builders ----------------------------------------------------------
+def fig2_scenario(n_dags: int = 30, seed: int = 42,
+                  horizon_s: float = 24 * 3600.0) -> Scenario:
+    """Fig. 2: round-robin and #CPUs, each with and without feedback."""
+    return Scenario(
         name=f"fig2-{n_dags}dags",
         servers=(
             ServerSpec("round-robin+fb", "round-robin", use_feedback=True),
@@ -53,7 +64,94 @@ def fig2_feedback(n_dags: int = 30, seed: int = 42,
         seed=seed,
         horizon_s=horizon_s,
     )
-    return run_scenario(scenario)
+
+
+def fig345_scenario(n_dags: int = 30, seed: int = 42,
+                    horizon_s: float = 24 * 3600.0) -> Scenario:
+    """Figs. 3 (30 DAGs), 4 (60), 5 (120): the four-way comparison."""
+    return Scenario(
+        name=f"fig345-{n_dags}dags",
+        servers=ALGORITHM_LINEUP,
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+
+
+def fig5_pair_scenario(rival: str, n_dags: int = 120, seed: int = 42,
+                       horizon_s: float = 36 * 3600.0) -> Scenario:
+    """One pair-wise Fig. 5 run: the hybrid vs one rival algorithm."""
+    return Scenario(
+        name=f"fig5-pair-{rival}-{n_dags}dags",
+        servers=(
+            ServerSpec("completion-time", "completion-time"),
+            ServerSpec(rival, rival),
+        ),
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+
+
+def fig6_scenario(n_dags: int = 120, seed: int = 42,
+                  horizon_s: float = 24 * 3600.0) -> Scenario:
+    """Fig. 6: completion-time vs #CPUs for the site-distribution plot."""
+    return Scenario(
+        name=f"fig6-{n_dags}dags",
+        servers=(
+            ServerSpec("completion-time", "completion-time"),
+            ServerSpec("num-cpus", "num-cpus"),
+        ),
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+
+
+def fig7_scenario(n_dags: int = 120, seed: int = 42,
+                  horizon_s: float = 24 * 3600.0,
+                  cpu_quota_s: Optional[float] = None) -> Scenario:
+    """Fig. 7: the four-way comparison under per-user usage quotas."""
+    if cpu_quota_s is None:
+        # Each job needs 60 CPU-seconds; a site may take at most 15% of
+        # one user's total demand, so the quota genuinely forces the
+        # scheduler to spread (no site can absorb more than 180 of a
+        # 1200-job campaign).
+        cpu_quota_s = 0.15 * n_dags * 10 * 60.0
+    return Scenario(
+        name=f"fig7-{n_dags}dags",
+        servers=ALGORITHM_LINEUP,
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+        job_requirements={"cpu_seconds": 60.0},
+        quota_per_site={"cpu_seconds": cpu_quota_s},
+    )
+
+
+def fig8_scenario(n_dags: int = 120, seed: int = 42,
+                  horizon_s: float = 24 * 3600.0) -> Scenario:
+    """Fig. 8: the four-way lineup plus #CPUs without feedback."""
+    return Scenario(
+        name=f"fig8-{n_dags}dags",
+        servers=ALGORITHM_LINEUP + (
+            ServerSpec("num-cpus-nofb", "num-cpus", use_feedback=False),
+        ),
+        n_dags=n_dags,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+
+
+# -- drivers ---------------------------------------------------------------------
+def fig2_feedback(n_dags: int = 30, seed: int = 42,
+                  horizon_s: float = 24 * 3600.0) -> ExperimentResult:
+    """Fig. 2: round-robin and #CPUs, each with and without feedback.
+
+    Expected shape: each with-feedback variant beats its without-
+    feedback twin on average DAG completion time (paper: by 20-29%).
+    """
+    return run_scenario(fig2_scenario(n_dags, seed, horizon_s))
 
 
 def fig3_algorithms(n_dags: int = 30, seed: int = 42,
@@ -64,14 +162,7 @@ def fig3_algorithms(n_dags: int = 30, seed: int = 42,
     its margin grows with load (17% at 30 DAGs -> 33-50% at 60-120);
     its jobs also spend less idle (queue) time.
     """
-    scenario = Scenario(
-        name=f"fig345-{n_dags}dags",
-        servers=ALGORITHM_LINEUP,
-        n_dags=n_dags,
-        seed=seed,
-        horizon_s=horizon_s,
-    )
-    return run_scenario(scenario)
+    return run_scenario(fig345_scenario(n_dags, seed, horizon_s))
 
 
 def fig5_pairwise(n_dags: int = 120, seed: int = 42,
@@ -87,43 +178,15 @@ def fig5_pairwise(n_dags: int = 120, seed: int = 42,
     Returns ``{rival_label: ExperimentResult}`` — each result holds the
     hybrid and that rival under equal conditions.
     """
-    results = {}
-    for rival in ("queue-length", "num-cpus", "round-robin"):
-        scenario = Scenario(
-            name=f"fig5-pair-{rival}-{n_dags}dags",
-            servers=(
-                ServerSpec("completion-time", "completion-time"),
-                ServerSpec(rival, rival),
-            ),
-            n_dags=n_dags,
-            seed=seed,
-            horizon_s=horizon_s,
-        )
-        results[rival] = run_scenario(scenario)
-    return results
+    return {
+        rival: run_scenario(fig5_pair_scenario(rival, n_dags, seed, horizon_s))
+        for rival in ("queue-length", "num-cpus", "round-robin")
+    }
 
 
-def fig6_site_distribution(n_dags: int = 120, seed: int = 42,
-                           horizon_s: float = 24 * 3600.0):
-    """Fig. 6: per-site job distribution vs avg completion time.
-
-    Returns ``(result, tables, correlations)`` where ``tables[label]``
-    holds (site, jobs, avg-completion) rows and ``correlations[label]``
-    the Spearman rank correlation between the two series.  Expected
-    shape: strongly negative for completion-time (inverse proportional,
-    Fig. 6a); weak/indifferent for num-cpus (Fig. 6b).
-    """
-    scenario = Scenario(
-        name=f"fig6-{n_dags}dags",
-        servers=(
-            ServerSpec("completion-time", "completion-time"),
-            ServerSpec("num-cpus", "num-cpus"),
-        ),
-        n_dags=n_dags,
-        seed=seed,
-        horizon_s=horizon_s,
-    )
-    result = run_scenario(scenario)
+def fig6_tables(result: ExperimentResult):
+    """Fig. 6's derived series: per-server distribution tables and the
+    Spearman rank correlation between jobs-per-site and avg completion."""
     tables = {}
     correlations = {}
     for label, server in result.servers.items():
@@ -138,6 +201,21 @@ def fig6_site_distribution(n_dags: int = 120, seed: int = 42,
             )
         else:
             correlations[label] = float("nan")
+    return tables, correlations
+
+
+def fig6_site_distribution(n_dags: int = 120, seed: int = 42,
+                           horizon_s: float = 24 * 3600.0):
+    """Fig. 6: per-site job distribution vs avg completion time.
+
+    Returns ``(result, tables, correlations)`` where ``tables[label]``
+    holds (site, jobs, avg-completion) rows and ``correlations[label]``
+    the Spearman rank correlation between the two series.  Expected
+    shape: strongly negative for completion-time (inverse proportional,
+    Fig. 6a); weak/indifferent for num-cpus (Fig. 6b).
+    """
+    result = run_scenario(fig6_scenario(n_dags, seed, horizon_s))
+    tables, correlations = fig6_tables(result)
     return result, tables, correlations
 
 
@@ -152,22 +230,7 @@ def fig7_policy(n_dags: int = 120, seed: int = 42,
     shape: per-algorithm results within a modest factor of the
     unconstrained run (the paper: "similar to those without policy").
     """
-    if cpu_quota_s is None:
-        # Each job needs 60 CPU-seconds; a site may take at most 15% of
-        # one user's total demand, so the quota genuinely forces the
-        # scheduler to spread (no site can absorb more than 180 of a
-        # 1200-job campaign).
-        cpu_quota_s = 0.15 * n_dags * 10 * 60.0
-    scenario = Scenario(
-        name=f"fig7-{n_dags}dags",
-        servers=ALGORITHM_LINEUP,
-        n_dags=n_dags,
-        seed=seed,
-        horizon_s=horizon_s,
-        job_requirements={"cpu_seconds": 60.0},
-        quota_per_site={"cpu_seconds": cpu_quota_s},
-    )
-    return run_scenario(scenario)
+    return run_scenario(fig7_scenario(n_dags, seed, horizon_s, cpu_quota_s))
 
 
 def fig8_timeouts(n_dags: int = 120, seed: int = 42,
@@ -179,13 +242,4 @@ def fig8_timeouts(n_dags: int = 120, seed: int = 42,
     without-feedback variant resubmits an order of magnitude more than
     the feedback-driven strategies.
     """
-    scenario = Scenario(
-        name=f"fig8-{n_dags}dags",
-        servers=ALGORITHM_LINEUP + (
-            ServerSpec("num-cpus-nofb", "num-cpus", use_feedback=False),
-        ),
-        n_dags=n_dags,
-        seed=seed,
-        horizon_s=horizon_s,
-    )
-    return run_scenario(scenario)
+    return run_scenario(fig8_scenario(n_dags, seed, horizon_s))

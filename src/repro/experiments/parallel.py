@@ -1,0 +1,206 @@
+"""Parallel experiment suite — fan independent scenarios across CPUs.
+
+Every paper figure (and ablation) is an independent simulation: its
+own :class:`~repro.sim.engine.Environment`, its own RNG streams seeded
+from the scenario, no shared mutable state.  That makes the suite
+embarrassingly parallel — each :class:`SuiteCase` runs in a worker
+process and the merged output is **bit-identical** to a sequential
+run:
+
+* every case is fully described by its picklable :class:`Scenario`;
+  workers rebuild the whole stack from it, exactly as ``workers=1``
+  does in-process;
+* results are collected in *submission* order, never completion order,
+  so the merge is deterministic regardless of worker scheduling;
+* wall-clock timings are measured inside the worker and reported
+  separately from the simulation metrics, which depend only on the
+  scenario.
+
+``run_suite`` powers the ``repro suite`` CLI subcommand, which writes
+``BENCH_SUITE.json`` — per-figure wall-clock, kernel event counts,
+events/second throughput, and headline metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.figures import (
+    fig2_scenario,
+    fig345_scenario,
+    fig5_pair_scenario,
+    fig6_scenario,
+    fig7_scenario,
+    fig8_scenario,
+)
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.experiments.scenarios import Scenario, ServerSpec
+
+__all__ = [
+    "SuiteCase",
+    "SuiteRun",
+    "default_suite",
+    "run_suite",
+    "headline_metrics",
+    "suite_payload",
+]
+
+#: BENCH_SUITE.json schema identifier; bump on breaking payload changes.
+SCHEMA = "repro-bench-suite/v1"
+
+
+@dataclass(frozen=True, slots=True)
+class SuiteCase:
+    """One unit of suite work: a named, self-contained scenario."""
+
+    name: str
+    scenario: Scenario
+
+
+@dataclass(slots=True)
+class SuiteRun:
+    """One finished case: its result plus the worker-side wall-clock."""
+
+    name: str
+    result: ExperimentResult
+    wall_s: float
+
+
+def _scaled(paper_n: int, scale: float, minimum: int = 4) -> int:
+    """A paper DAG count under the suite scale factor (cf. benchmarks)."""
+    return max(minimum, round(paper_n * scale))
+
+
+def default_suite(scale: float = 1.0, seed: int = 42) -> tuple[SuiteCase, ...]:
+    """The full evaluation: Figs. 2-8 plus the two ablations.
+
+    ``scale`` shrinks every workload proportionally (floor of 4 DAGs),
+    mirroring ``REPRO_BENCH_SCALE`` in the benchmark harness; shape
+    criteria are only meaningful at scale 1.0.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    cases = [
+        SuiteCase("fig2", fig2_scenario(_scaled(30, scale), seed)),
+        SuiteCase("fig3", fig345_scenario(_scaled(30, scale), seed)),
+        SuiteCase("fig4", fig345_scenario(_scaled(60, scale), seed)),
+    ]
+    for rival in ("queue-length", "num-cpus", "round-robin"):
+        cases.append(SuiteCase(
+            f"fig5-pair-{rival}",
+            fig5_pair_scenario(rival, _scaled(120, scale), seed),
+        ))
+    cases += [
+        SuiteCase("fig6", fig6_scenario(_scaled(120, scale), seed)),
+        SuiteCase("fig7", fig7_scenario(_scaled(120, scale), seed)),
+        SuiteCase("fig8", fig8_scenario(_scaled(120, scale), seed)),
+        SuiteCase("ablation-estimator", Scenario(
+            name=f"ablation-estimator-{_scaled(30, scale)}dags",
+            servers=(
+                ServerSpec("default(ewma+corr)", "completion-time"),
+                ServerSpec("mean-estimator", "completion-time",
+                           estimator_mode="mean"),
+                ServerSpec("no-correction", "completion-time",
+                           use_prediction_correction=False),
+            ),
+            n_dags=_scaled(30, scale),
+            seed=seed,
+        )),
+    ]
+    for interval in (30.0, 300.0, 900.0):
+        cases.append(SuiteCase(
+            f"ablation-staleness-{interval:.0f}s",
+            Scenario(
+                name=f"ablation-staleness-{interval:.0f}s",
+                servers=(
+                    ServerSpec("queue-length", "queue-length"),
+                    ServerSpec("completion-time", "completion-time"),
+                ),
+                n_dags=_scaled(30, scale),
+                seed=seed,
+                monitoring_interval_s=interval,
+            ),
+        ))
+    return tuple(cases)
+
+
+def _run_case(case: SuiteCase) -> SuiteRun:
+    """Worker entry point: run one case, time it (module-level: pickled
+    by name into the pool workers)."""
+    t0 = time.perf_counter()
+    result = run_scenario(case.scenario)
+    return SuiteRun(name=case.name, result=result,
+                    wall_s=time.perf_counter() - t0)
+
+
+def run_suite(cases: Iterable[SuiteCase],
+              workers: int = 1) -> list[SuiteRun]:
+    """Run every case; results come back in case order.
+
+    ``workers=1`` runs in-process (no pool, no pickling); ``workers>1``
+    fans cases over a :class:`ProcessPoolExecutor`.  Simulation metrics
+    are bit-identical either way — only ``wall_s`` differs.
+    """
+    cases = list(cases)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or len(cases) <= 1:
+        return [_run_case(c) for c in cases]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cases))) as pool:
+        futures = [pool.submit(_run_case, c) for c in cases]
+        # Submission order, not completion order: determinism.
+        return [f.result() for f in futures]
+
+
+def _json_safe(value: float) -> Optional[float]:
+    """NaN -> None (JSON has no NaN; empty series average is 'absent')."""
+    return None if value != value else value
+
+
+def headline_metrics(result: ExperimentResult) -> dict:
+    """The deterministic summary of one result — everything here
+    depends only on the scenario, never on wall-clock or worker count
+    (what the sequential-vs-parallel equivalence test compares)."""
+    return {
+        "scenario": result.scenario_name,
+        "horizon_reached": result.horizon_reached,
+        "elapsed_sim_s": result.elapsed_sim_s,
+        "event_count": result.event_count,
+        "servers": {
+            label: {
+                "finished_dags": s.finished_dags,
+                "total_dags": s.total_dags,
+                "avg_dag_completion_s": _json_safe(s.avg_dag_completion_s),
+                "avg_job_execution_s": _json_safe(s.avg_job_execution_s),
+                "avg_job_idle_s": _json_safe(s.avg_job_idle_s),
+                "resubmissions": s.resubmissions,
+                "timeouts": s.timeouts,
+            }
+            for label, s in result.servers.items()
+        },
+    }
+
+
+def suite_payload(runs: Sequence[SuiteRun], scale: float,
+                  workers: int) -> dict:
+    """The BENCH_SUITE.json document for one suite invocation."""
+    figures = {}
+    for run in runs:
+        figures[run.name] = {
+            "wall_s": run.wall_s,
+            "events_per_s": (run.result.event_count / run.wall_s
+                             if run.wall_s > 0 else None),
+            **headline_metrics(run.result),
+        }
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "workers": workers,
+        "cases": [run.name for run in runs],
+        "total_wall_s": sum(run.wall_s for run in runs),
+        "total_events": sum(run.result.event_count for run in runs),
+        "figures": figures,
+    }

@@ -93,6 +93,9 @@ class ExperimentResult:
     scenario_name: str
     horizon_reached: bool
     elapsed_sim_s: float
+    #: kernel events processed over the whole run — the denominator for
+    #: events/second throughput reporting (see BENCH_SUITE.json)
+    event_count: int = 0
     servers: dict[str, ServerResult] = field(default_factory=dict)
 
     def __getitem__(self, label: str) -> ServerResult:
@@ -174,25 +177,22 @@ def run_scenario(scenario: Scenario,
             client.stage_external_inputs(dag, backup)
             env.process(client.submit_dag(dag))
 
-    # Drive until every client's DAGs finish or the horizon hits.  The
-    # watchdog process settles when all work is done, so the run stops
-    # early instead of simulating background load to the horizon.
-    done_flag = []
-
-    def _watchdog(env):
-        while True:
-            if all(c.all_dags_finished() for c in clients.values()):
-                done_flag.append(env.now)
-                return
-            yield env.timeout(60.0)
-
-    watchdog = env.process(_watchdog(env))
-    env.run(until=env.any_of([watchdog, env.timeout(scenario.horizon_s)]))
+    # Drive until every client's DAGs finish or the horizon hits.  Each
+    # client settles its `done` event the instant its last DAG-finished
+    # report lands, so the run stops at the true completion time (a
+    # polling watchdog would round it up to its next wakeup and bias
+    # every censored-DAG measurement by up to the poll period).
+    done_events = [c.done for c in clients.values()]
+    env.run(until=env.any_of(
+        [env.all_of(done_events), env.timeout(scenario.horizon_s)]
+    ))
+    all_done = all(ev.triggered for ev in done_events)
 
     result = ExperimentResult(
         scenario_name=scenario.name,
-        horizon_reached=not done_flag,
-        elapsed_sim_s=done_flag[0] if done_flag else scenario.horizon_s,
+        horizon_reached=not all_done,
+        elapsed_sim_s=env.now if all_done else scenario.horizon_s,
+        event_count=env.event_count,
     )
     for spec in scenario.servers:
         server = servers[spec.label]

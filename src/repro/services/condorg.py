@@ -80,6 +80,20 @@ class GridJobHandle:
     ) -> None:
         self._watchers.append(callback)
 
+    def off_status_change(
+        self, callback: Callable[["GridJobHandle", GridJobStatus], None]
+    ) -> None:
+        """Deregister a watcher; a no-op if it is not registered.
+
+        Trackers abandon a handle on timeout; without deregistration
+        the watcher list grows for the handle's lifetime and a late
+        terminal transition still settles the tracker's orphaned event.
+        """
+        try:
+            self._watchers.remove(callback)
+        except ValueError:
+            pass
+
     # -- timing passthroughs -----------------------------------------------------
     @property
     def idle_time_s(self) -> Optional[float]:
@@ -101,10 +115,16 @@ class GridJobHandle:
         if self.status is status:
             return
         self.status = status
-        if status.terminal:
+        terminal = status.terminal
+        if terminal:
             self.finished_at = self.env.now
         for cb in list(self._watchers):
             cb(self, status)
+        if terminal:
+            # No further transitions can happen; drop the watchers so a
+            # long-lived handle does not pin every tracker that ever
+            # watched it.
+            self._watchers.clear()
 
 
 class CondorG:

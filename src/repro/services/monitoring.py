@@ -18,10 +18,11 @@ Optionally, multiplicative noise models measurement error.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import math
 
-import numpy as np
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping, Optional
 
 from repro.sim.engine import Environment
 from repro.sim.rng import RngStreams
@@ -77,8 +78,14 @@ class MonitoringService:
         (a site never successfully polled)."""
         return self._snapshots.get(site)
 
-    def all_snapshots(self) -> dict[str, SiteSnapshot]:
-        return dict(self._snapshots)
+    def all_snapshots(self) -> Mapping[str, SiteSnapshot]:
+        """Read-only live view of every site's latest snapshot.
+
+        A :class:`types.MappingProxyType`, not a copy: callers polling
+        this every decision cycle would otherwise pay a dict copy per
+        call for data they only read.
+        """
+        return MappingProxyType(self._snapshots)
 
     def staleness_s(self, site: str) -> Optional[float]:
         snap = self._snapshots.get(site)
@@ -91,7 +98,7 @@ class MonitoringService:
             return None  # the query job never comes back
         queued, running = site.queued_jobs, site.running_jobs
         if self._rng is not None and self.noise_sigma > 0:
-            factor = float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
+            factor = math.exp(float(self._rng.normal(0.0, self.noise_sigma)))
             queued = int(round(queued * factor))
             running = min(int(round(running * factor)), site.n_cpus)
         return SiteSnapshot(

@@ -10,9 +10,13 @@ with the generator's return value, so processes compose (a process can
 
 from __future__ import annotations
 
+from types import GeneratorType
 from typing import Any, Generator
 
-from repro.sim.engine import Event, Interrupt, SimulationError, URGENT
+from heapq import heappush
+
+from repro.sim.engine import Event, Interrupt, PENDING, SimulationError, URGENT
+from repro.sim.engine import _NORMAL_BASE
 
 __all__ = ["Process"]
 
@@ -20,20 +24,43 @@ __all__ = ["Process"]
 class Process(Event):
     """Wraps a generator as a schedulable, interruptible process."""
 
-    __slots__ = ("_generator", "_target", "_interrupted_away_from", "name")
+    __slots__ = ("_generator", "_target", "_interrupted_away_from", "_name")
 
     def __init__(self, env, generator: Generator[Event, Any, Any], name: str | None = None):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        if type(generator) is not GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
             raise TypeError(f"process body must be a generator, got {generator!r}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
         self._target: Event | None = None
         self._interrupted_away_from: Event | None = None
-        self.name = name or getattr(generator, "__name__", type(generator).__name__)
+        self._name = name
         # Kick off at the current instant, after already-queued events.
-        boot = Event(env)
-        boot.add_callback(self._resume)
-        boot.succeed(priority=URGENT)
+        # The boot event is pre-settled by hand (the succeed/add_callback
+        # dance costs two extra frames per spawned process).
+        boot = Event.__new__(Event)
+        boot.env = env
+        boot.callbacks = [self._resume]
+        boot._value = None
+        boot._ok = True
+        boot._defused = False
+        env._seq += 1
+        # Heap key packs (URGENT, seq); URGENT == 0 so the key is just seq.
+        heappush(env._heap, (env._now, env._seq, boot))
+
+    @property
+    def name(self) -> str:
+        """Process name (defaults to the generator's name, resolved lazily)."""
+        n = self._name
+        if n is None:
+            gen = self._generator
+            n = self._name = getattr(gen, "__name__", type(gen).__name__)
+        return n
 
     @property
     def is_alive(self) -> bool:
@@ -58,26 +85,45 @@ class Process(Event):
         kick.succeed(priority=URGENT)
 
     # -- internals --------------------------------------------------------
+    # ``_resume`` runs once per process wake-up — the hottest non-kernel
+    # path in the system — so it reads settled-event slots (``_ok``/
+    # ``_value``) directly and drives the generator inline instead of
+    # delegating the common send path to ``_step``.
     def _resume(self, event: Event) -> None:
         if self._target is not None and event is not self._target:
             # A stale wake-up from an event we were interrupted away from.
-            if not event.ok:
+            if not event._ok:
                 event.defuse()
             return
         if self._interrupted_away_from is event:
-            if not event.ok:
+            if not event._ok:
                 event.defuse()
             self._interrupted_away_from = None
             return
         self._target = None
-        if event.ok:
-            self._step(send=event.value)
-        else:
+        if not event._ok:
             event.defuse()
-            self._step(throw=event.value)
+            self._step(throw=event._value)
+            return
+        if self._value is not PENDING:  # already finished
+            return
+        try:
+            yielded = self._generator.send(event._value)
+        except StopIteration as stop:
+            # Event.succeed inlined: a process that just returned cannot
+            # already be settled (guarded by the PENDING check above).
+            self._value = stop.value
+            env = self.env
+            env._seq += 1
+            heappush(env._heap, (env._now, _NORMAL_BASE + env._seq, self))
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        self._await(yielded)
 
     def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
-        if self.triggered:
+        if self._value is not PENDING:  # already finished
             return
         try:
             if throw is not None:
@@ -90,7 +136,9 @@ class Process(Event):
         except BaseException as exc:
             self.fail(exc)
             return
+        self._await(yielded)
 
+    def _await(self, yielded: Any) -> None:
         if not isinstance(yielded, Event):
             err = SimulationError(
                 f"process {self.name!r} yielded {yielded!r}; processes may "
@@ -102,4 +150,8 @@ class Process(Event):
             self.fail(SimulationError("yielded event belongs to another environment"))
             return
         self._target = yielded
-        yielded.add_callback(self._resume)
+        cbs = yielded.callbacks
+        if cbs is None:  # already processed: late-subscribe path
+            yielded.add_callback(self._resume)
+        else:
+            cbs.append(self._resume)

@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from heapq import heappush
 from typing import Any, Callable, Optional
 
-from repro.sim.engine import Environment, Event, SimulationError
+from repro.sim.engine import Environment, Event, PENDING, SimulationError
+from repro.sim.engine import _NORMAL_BASE
 
 __all__ = ["Resource", "Request", "Store", "PriorityStore"]
 
@@ -27,10 +29,16 @@ class Request(Event):
     the holder must eventually call ``resource.release(request)``.
     """
 
-    __slots__ = ("resource", "priority", "_key")
+    __slots__ = ("resource", "priority")
 
     def __init__(self, resource: "Resource", priority: int = 0):
-        super().__init__(resource.env)
+        # Event.__init__ inlined: requests are created once per simulated
+        # job, a hot allocation site in every scheduling scenario.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.priority = priority
 
@@ -43,7 +51,9 @@ class Resource:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self._capacity = int(capacity)
-        self._users: list[Request] = []
+        #: granted requests; a set so release() is O(1) with hundreds of
+        #: concurrent holders (a big site's CPUs)
+        self._users: set[Request] = set()
         self._queue: list[tuple[int, int, Request]] = []
         self._counter = itertools.count()
 
@@ -64,15 +74,26 @@ class Resource:
     def request(self, priority: int = 0) -> Request:
         """Claim a slot; the returned event fires when granted."""
         req = Request(self, priority)
-        heapq.heappush(self._queue, (priority, next(self._counter), req))
-        self._grant()
+        users = self._users
+        if not self._queue and len(users) < self._capacity:
+            # Uncontended fast path: grant immediately, skipping the
+            # queue round-trip (identical ordering — _grant would pop
+            # this request right back).
+            users.add(req)
+            req._value = req
+            env = req.env
+            env._seq += 1
+            heappush(env._heap, (env._now, _NORMAL_BASE + env._seq, req))
+        else:
+            heapq.heappush(self._queue, (priority, next(self._counter), req))
+            self._grant()
         return req
 
     def release(self, request: Request) -> None:
         """Return a previously granted slot."""
         try:
             self._users.remove(request)
-        except ValueError:
+        except KeyError:
             raise SimulationError("release() of a request that does not hold a slot")
         self._grant()
 
@@ -96,10 +117,19 @@ class Resource:
         self._grant()
 
     def _grant(self) -> None:
-        while self._queue and len(self._users) < self._capacity:
-            _p, _c, req = heapq.heappop(self._queue)
-            self._users.append(req)
-            req.succeed(req)
+        queue = self._queue
+        users = self._users
+        cap = self._capacity
+        pop = heapq.heappop
+        while queue and len(users) < cap:
+            req = pop(queue)[2]
+            users.add(req)
+            # Event.succeed(req) inlined — a queued Request is pending by
+            # construction (cancel() removes it from the queue first).
+            req._value = req
+            env = req.env
+            env._seq += 1
+            heappush(env._heap, (env._now, _NORMAL_BASE + env._seq, req))
 
 
 class Store:

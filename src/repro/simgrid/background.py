@@ -16,9 +16,8 @@ dynamic.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Optional
-
-import numpy as np
 
 from repro.sim.engine import Environment
 from repro.sim.rng import RngStreams
@@ -91,10 +90,13 @@ class BackgroundLoad:
         #: random phase so sites peak at different times — the grid's
         #: load ordering genuinely changes over a run, which is what
         #: makes static capacity information misleading (paper §2).
-        self._phase_offset = float(self._rng.uniform(0.0, 2.0 * np.pi))
+        self._phase_offset = float(self._rng.uniform(0.0, 2.0 * math.pi))
         self._ids = itertools.count()
         self.submitted = 0
         self._proc: Optional[object] = None
+        #: arrival rate at zero modulation; n_cpus and the target are
+        #: fixed for the object's lifetime, so this is loop-invariant
+        self._base_rate = target_utilization * site.n_cpus / mean_runtime_s
 
     def start(self) -> None:
         """Begin generating load (idempotent)."""
@@ -107,34 +109,43 @@ class BackgroundLoad:
     # -- internals --------------------------------------------------------------
     def _rate_per_s(self) -> float:
         """Instantaneous arrival rate lambda(t) in jobs/second."""
-        base = (
-            self.target_utilization
-            * self.site.n_cpus
-            / self.mean_runtime_s
-        )
+        base = self._base_rate
         if self.modulation_amplitude == 0.0:
             return base
-        phase = (2.0 * np.pi * self.env.now / self.modulation_period_s
+        phase = (2.0 * math.pi * self.env.now / self.modulation_period_s
                  + self._phase_offset)
-        return base * (1.0 + self.modulation_amplitude * np.sin(phase))
+        return base * (1.0 + self.modulation_amplitude * math.sin(phase))
 
     def _generate(self):
+        # One arrival per iteration for the whole run; everything stable
+        # is hoisted out of the loop.
+        env = self.env
+        timeout = env.timeout
+        site = self.site
+        submit = site.submit
+        exponential = self._rng.exponential
+        next_id = self._ids.__next__
+        prefix = f"bg.{site.name}."
+        mean_runtime = self.mean_runtime_s
+        priority = self.priority
+        modulated = self.modulation_amplitude != 0.0
+        base_rate = self._base_rate
         while True:
-            rate = self._rate_per_s()
+            rate = self._rate_per_s() if modulated else base_rate
             if rate <= 0:
-                yield self.env.timeout(60.0)
+                yield timeout(60.0)
                 continue
-            yield self.env.timeout(float(self._rng.exponential(1.0 / rate)))
-            if self.site.state is SiteState.DOWN:
+            yield timeout(float(exponential(1.0 / rate)))
+            if site.state is SiteState.DOWN:
                 continue  # gatekeeper down; local users also locked out
-            runtime = float(self._rng.exponential(self.mean_runtime_s))
-            job_id = f"bg.{self.site.name}.{next(self._ids)}"
+            runtime = float(exponential(mean_runtime))
+            job_id = prefix + str(next_id())
             try:
-                self.site.submit(
+                submit(
                     job_id,
-                    runtime_s=max(runtime, 1.0),
+                    runtime_s=runtime if runtime > 1.0 else 1.0,
                     owner="/VO=local/CN=background",
-                    priority=self.priority,
+                    priority=priority,
                 )
             except SiteUnavailableError:
                 continue

@@ -47,7 +47,7 @@ class SiteJobStatus(enum.Enum):
         )
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class SiteJob:
     """A job as the local batch system sees it.
 
@@ -76,8 +76,11 @@ class SiteJob:
 
     def _set_status(self, new: SiteJobStatus) -> None:
         old, self.status = self.status, new
-        for cb in list(self._watchers):
-            cb(self, old, new)
+        watchers = self._watchers
+        if watchers:
+            # copy: a callback may (de)register watchers while we iterate
+            for cb in list(watchers):
+                cb(self, old, new)
 
     # -- timing observables ----------------------------------------------------
     @property

@@ -19,9 +19,8 @@ log-normal service noise), a file store, and the fault state machine.
 from __future__ import annotations
 
 import enum
+import math
 from typing import Optional
-
-import numpy as np
 
 from repro.sim.engine import Environment
 from repro.sim.rng import RngStreams
@@ -217,7 +216,7 @@ class GridSite:
         if self._state is SiteState.DEGRADED:
             factor *= self.degraded_factor
         if self.service_noise_sigma > 0:
-            factor *= float(np.exp(self._rng.normal(0.0, self.service_noise_sigma)))
+            factor *= math.exp(float(self._rng.normal(0.0, self.service_noise_sigma)))
         return job.runtime_s * factor
 
     def __repr__(self) -> str:  # pragma: no cover

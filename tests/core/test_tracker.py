@@ -132,6 +132,48 @@ def test_completion_wins_same_instant_as_timeout():
     assert r.outcome == "completed"
 
 
+def test_timeout_deregisters_watcher():
+    """An abandoned tracking attempt must not leave its watcher behind.
+
+    Regression: the timeout path never removed ``_watch`` from the
+    handle, so the handle pinned one closure per attempt for its whole
+    life, and the cancellation's KILLED transition settled the orphaned
+    ``terminal`` event."""
+    env, grid, cg, tracker = make()
+    grid.site("s0").set_state(SiteState.BLACKHOLE)
+    h = cg.submit("j", "s0", runtime_s=10.0)
+    r = run_track(env, tracker, h, timeout_s=300.0)
+    assert r.reason == "timeout"
+    assert h._watchers == []
+
+
+def test_completion_clears_watchers():
+    """Terminal transitions drop all watchers — nothing can fire again."""
+    env, grid, cg, tracker = make()
+    h = cg.submit("j", "s0", runtime_s=10.0)
+    r = run_track(env, tracker, h, timeout_s=1000.0)
+    assert r.outcome == "completed"
+    assert h._watchers == []
+
+
+def test_off_status_change_unregistered_is_noop():
+    env, grid, cg, tracker = make()
+    h = cg.submit("j", "s0", runtime_s=10.0)
+    h.off_status_change(lambda _h, _s: None)  # never registered: no raise
+
+
+def test_off_status_change_stops_callbacks():
+    env, grid, cg, tracker = make()
+    h = cg.submit("j", "s0", runtime_s=10.0)
+    seen = []
+    cb = lambda _h, status: seen.append(status)
+    h.on_status_change(cb)
+    h.off_status_change(cb)
+    env.run()
+    assert h.status.terminal
+    assert seen == []
+
+
 def test_stats_accumulate_across_jobs():
     env, grid, cg, tracker = make(n_cpus=4)
     handles = [cg.submit(f"j{i}", "s0", runtime_s=5.0) for i in range(3)]

@@ -1,5 +1,7 @@
 """Unit tests for the experiment CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -48,3 +50,22 @@ def test_fig8_scaled_down_runs(capsys):
     assert main(["fig8", "--dags", "3", "--horizon-hours", "4"]) == 0
     out = capsys.readouterr().out
     assert "num-cpus-nofb" in out
+
+
+def test_suite_writes_bench_json(tmp_path, capsys):
+    out_file = tmp_path / "BENCH_SUITE.json"
+    assert main(["suite", "--workers", "1", "--scale", "0.05",
+                 "--only", "ablation-estimator",
+                 "--output", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "ablation-estimator" in out
+    assert "events/s" in out
+    payload = json.loads(out_file.read_text())
+    assert payload["schema"] == "repro-bench-suite/v1"
+    assert payload["cases"] == ["ablation-estimator"]
+    assert payload["figures"]["ablation-estimator"]["event_count"] > 0
+
+
+def test_suite_rejects_unknown_filter(tmp_path):
+    assert main(["suite", "--only", "nosuchfigure",
+                 "--output", str(tmp_path / "x.json")]) == 2

@@ -1,0 +1,126 @@
+"""Tests for the parallel suite runner (repro.experiments.parallel)."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    Scenario,
+    ServerSpec,
+    SuiteCase,
+    default_suite,
+    headline_metrics,
+    run_suite,
+    suite_payload,
+)
+from repro.experiments.parallel import _scaled
+from repro.simgrid.grid import SiteSpec
+
+#: A small fault-free grid so suite tests stay fast.
+TINY_SITES = (
+    SiteSpec("alpha", n_cpus=16, perf_factor=1.0, uplink_mbps=20.0,
+             background_utilization=0.3, service_noise_sigma=0.05),
+    SiteSpec("beta", n_cpus=8, perf_factor=1.5, uplink_mbps=10.0,
+             background_utilization=0.2, service_noise_sigma=0.05),
+)
+
+
+def tiny_case(name, seed=7, **kw):
+    kw.setdefault("servers", (ServerSpec("ct", "completion-time"),
+                              ServerSpec("rr", "round-robin")))
+    kw.setdefault("n_dags", 2)
+    kw.setdefault("sites", TINY_SITES)
+    kw.setdefault("fault_windows", ())
+    kw.setdefault("horizon_s", 6 * 3600.0)
+    return SuiteCase(name, Scenario(name=name, seed=seed, **kw))
+
+
+TINY_CASES = (tiny_case("a", seed=7), tiny_case("b", seed=8),
+              tiny_case("c", seed=9))
+
+
+def test_sequential_and_parallel_metrics_bit_identical():
+    """The tentpole contract: fanning over a process pool must not
+    change a single simulation metric relative to an in-process run."""
+    seq = run_suite(TINY_CASES, workers=1)
+    par = run_suite(TINY_CASES, workers=2)
+    assert [headline_metrics(r.result) for r in seq] == \
+           [headline_metrics(r.result) for r in par]
+
+
+def test_results_come_back_in_case_order():
+    runs = run_suite(TINY_CASES, workers=2)
+    assert [r.name for r in runs] == ["a", "b", "c"]
+
+
+def test_wall_clock_measured_per_case():
+    runs = run_suite(TINY_CASES[:1], workers=1)
+    assert runs[0].wall_s > 0
+
+
+def test_event_count_recorded():
+    runs = run_suite(TINY_CASES[:1], workers=1)
+    assert runs[0].result.event_count > 0
+
+
+def test_workers_validation():
+    with pytest.raises(ValueError):
+        run_suite(TINY_CASES, workers=0)
+
+
+def test_default_suite_covers_figures_and_ablations():
+    cases = default_suite(scale=0.1)
+    names = [c.name for c in cases]
+    for expected in ("fig2", "fig3", "fig4", "fig5-pair-queue-length",
+                     "fig5-pair-num-cpus", "fig5-pair-round-robin",
+                     "fig6", "fig7", "fig8", "ablation-estimator",
+                     "ablation-staleness-300s"):
+        assert expected in names
+    assert len(names) == len(set(names))
+
+
+def test_default_suite_scales_workloads():
+    full = {c.name: c.scenario.n_dags for c in default_suite(scale=1.0)}
+    small = {c.name: c.scenario.n_dags for c in default_suite(scale=0.1)}
+    assert full["fig8"] == 120
+    assert small["fig8"] == 12
+    assert small["fig2"] == 4  # floor of 4 DAGs
+    with pytest.raises(ValueError):
+        default_suite(scale=0.0)
+
+
+def test_scaled_floor():
+    assert _scaled(30, 0.01) == 4
+    assert _scaled(120, 0.5) == 60
+
+
+def test_suite_payload_schema():
+    runs = run_suite(TINY_CASES[:2], workers=1)
+    payload = suite_payload(runs, scale=0.1, workers=1)
+    assert payload["schema"] == "repro-bench-suite/v1"
+    assert payload["cases"] == ["a", "b"]
+    assert payload["total_events"] == sum(r.result.event_count for r in runs)
+    assert payload["total_wall_s"] > 0
+    for name in ("a", "b"):
+        fig = payload["figures"][name]
+        assert fig["wall_s"] > 0
+        assert fig["events_per_s"] > 0
+        assert fig["event_count"] > 0
+        assert fig["elapsed_sim_s"] > 0
+        for server in fig["servers"].values():
+            assert set(server) == {
+                "finished_dags", "total_dags", "avg_dag_completion_s",
+                "avg_job_execution_s", "avg_job_idle_s",
+                "resubmissions", "timeouts",
+            }
+    json.dumps(payload)  # must be serializable as-is
+
+
+def test_headline_metrics_json_safe_nan():
+    """A server that finished nothing has NaN averages; the payload
+    must encode them as null, not the non-JSON literal NaN."""
+    runs = run_suite(
+        [tiny_case("short", horizon_s=60.0)], workers=1)
+    payload = suite_payload(runs, scale=1.0, workers=1)
+    text = json.dumps(payload)
+    assert "NaN" not in text

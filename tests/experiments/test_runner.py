@@ -69,6 +69,21 @@ def test_quota_constrained_scenario_runs():
         assert result[label].finished_dags == 3
 
 
+def test_elapsed_records_true_finish_time():
+    """``elapsed_sim_s`` is the instant the last DAG-finished report
+    lands at a client, not a watchdog poll boundary.
+
+    Regression: a 60 s-polling watchdog rounded every finish time up to
+    its next wakeup, so ``elapsed_sim_s`` was always a multiple of 60
+    and every censored-DAG measurement inherited the bias.  Clients
+    learn of completions mid-poll-cycle (2 s poll + RPC latency), so
+    the true finish instant is never 60 s-aligned in this scenario."""
+    result = run_scenario(small_scenario())
+    assert not result.horizon_reached
+    assert 0.0 < result.elapsed_sim_s < 6 * 3600.0
+    assert result.elapsed_sim_s % 60.0 != 0.0
+
+
 def test_horizon_reached_reported():
     sc = small_scenario(n_dags=5, horizon_s=120.0)  # far too short
     result = run_scenario(sc)
