@@ -1,0 +1,107 @@
+"""Control-plane cost: polling ticks vs event-driven push signaling.
+
+The event-driven control plane (server wakeup latch + deadline timer,
+direct client delivery, lean kernel) exists to cut kernel-event volume
+— the discrete-event analogue of CPU wakeups.  This bench runs the
+same workload under both modes at three client counts and reports the
+raw costs side by side: total kernel events, simulated-seconds-per-
+wall-second throughput, and wall-clock time.
+
+Poll mode's event count grows with *time* (every server ticks, every
+client polls, forever); push mode's grows with *work* (reports, plans,
+transfers).  The gap therefore widens with the number of idle-ish
+control loops, i.e. with client count.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import Scenario, ServerSpec, format_table, run_scenario
+
+from benchmarks.common import SEED, emit, scale, scaled_dags
+
+PAPER_DAGS = 12
+CLIENT_COUNTS = (1, 2, 4)
+ALGORITHMS = ("completion-time", "queue-length", "num-cpus", "round-robin")
+
+
+def _scenario(n_clients: int, mode: str, n_dags: int) -> Scenario:
+    # One ServerSpec == one server/client pair in the runner.
+    servers = tuple(
+        ServerSpec(f"c{i}-{ALGORITHMS[i % len(ALGORITHMS)]}",
+                   ALGORITHMS[i % len(ALGORITHMS)])
+        for i in range(n_clients)
+    )
+    return Scenario(
+        name=f"control-plane-{mode}-{n_clients}c",
+        servers=servers,
+        n_dags=n_dags,
+        seed=SEED,
+        control_plane=mode,
+        horizon_s=12 * 3600.0,
+    )
+
+
+def run(n_dags: int) -> dict:
+    out = {}
+    for n_clients in CLIENT_COUNTS:
+        for mode in ("poll", "push"):
+            t0 = time.perf_counter()
+            result = run_scenario(_scenario(n_clients, mode, n_dags))
+            wall = time.perf_counter() - t0
+            out[(n_clients, mode)] = {
+                "event_count": result.event_count,
+                "wall_s": wall,
+                "events_per_s": result.event_count / wall if wall > 0 else 0.0,
+                "elapsed_sim_s": result.elapsed_sim_s,
+                "horizon_reached": result.horizon_reached,
+                "finished_dags": sum(
+                    s.finished_dags for s in result.servers.values()
+                ),
+                "total_dags": sum(
+                    s.total_dags for s in result.servers.values()
+                ),
+            }
+    return out
+
+
+def test_control_plane(benchmark):
+    n_dags = scaled_dags(PAPER_DAGS, minimum=2)
+    out = benchmark.pedantic(lambda: run(n_dags), rounds=1, iterations=1)
+
+    rows = []
+    for n_clients in CLIENT_COUNTS:
+        poll = out[(n_clients, "poll")]
+        push = out[(n_clients, "push")]
+        rows.append([
+            n_clients,
+            poll["event_count"],
+            push["event_count"],
+            f"{poll['event_count'] / push['event_count']:.2f}x",
+            f"{poll['wall_s']:.2f}",
+            f"{push['wall_s']:.2f}",
+            f"{poll['events_per_s']:.0f}",
+            f"{push['events_per_s']:.0f}",
+        ])
+    emit("control_plane", format_table(
+        ["clients", "poll events", "push events", "ratio",
+         "poll wall (s)", "push wall (s)",
+         "poll ev/s", "push ev/s"],
+        rows,
+        title=(f"Control plane: poll vs push, {n_dags} dags/client, "
+               f"seed {SEED}"),
+    ))
+
+    for n_clients in CLIENT_COUNTS:
+        poll = out[(n_clients, "poll")]
+        push = out[(n_clients, "push")]
+        # Push must do the same work with strictly fewer kernel events,
+        # and must never finish fewer DAGs than poll.
+        assert push["event_count"] < poll["event_count"]
+        assert push["finished_dags"] >= poll["finished_dags"]
+        if scale() >= 0.1:
+            assert push["event_count"] * 2 < poll["event_count"], (
+                f"{n_clients} clients: push {push['event_count']} vs "
+                f"poll {poll['event_count']} — expected >=2x reduction"
+            )

@@ -48,6 +48,14 @@ def _add_common(p: argparse.ArgumentParser, default_dags: int) -> None:
     p.add_argument("--seed", type=int, default=42, help="experiment seed")
     p.add_argument("--horizon-hours", type=float, default=36.0,
                    help="simulation horizon in hours")
+    _add_control_plane(p)
+
+
+def _add_control_plane(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--control-plane", choices=("poll", "push"), default="push",
+        help="server/client signaling: event-driven push (default) or "
+             "fixed-period polling (legacy)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", nargs="*", default=None, metavar="CASE",
         help="run only cases whose name starts with one of these "
              "(e.g. fig2 fig5 ablation)")
+    _add_control_plane(suite)
     sub.add_parser("list-algorithms", help="show available algorithms")
     return parser
 
@@ -105,7 +114,8 @@ def _run_suite_command(args) -> int:
     if args.scale <= 0:
         print("repro suite: --scale must be > 0", file=sys.stderr)
         return 2
-    cases = default_suite(scale=args.scale, seed=args.seed)
+    cases = default_suite(scale=args.scale, seed=args.seed,
+                          control_plane=args.control_plane)
     if args.only:
         cases = tuple(
             c for c in cases
@@ -115,7 +125,8 @@ def _run_suite_command(args) -> int:
             print(f"no suite cases match {args.only}", file=sys.stderr)
             return 2
     runs = run_suite(cases, workers=args.workers)
-    payload = suite_payload(runs, scale=args.scale, workers=args.workers)
+    payload = suite_payload(runs, scale=args.scale, workers=args.workers,
+                            control_plane=args.control_plane)
 
     rows = []
     for run in runs:
@@ -159,9 +170,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "suite":
         return _run_suite_command(args)
 
+    mode = getattr(args, "control_plane", "push")
     if args.command == "fig2":
         result = fig2_feedback(n_dags=args.dags, seed=args.seed,
-                               horizon_s=horizon)
+                               horizon_s=horizon, control_plane=mode)
         _print_lineup(result, ("round-robin+fb", "round-robin-nofb",
                                "num-cpus+fb", "num-cpus-nofb"))
         return 0
@@ -169,12 +181,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lineup = tuple(s.label for s in ALGORITHM_LINEUP)
     if args.command == "fig345":
         result = fig3_algorithms(n_dags=args.dags, seed=args.seed,
-                                 horizon_s=horizon)
+                                 horizon_s=horizon, control_plane=mode)
         _print_lineup(result, lineup)
         return 0
     if args.command == "fig6":
         result, tables, correlations = fig6_site_distribution(
-            n_dags=args.dags, seed=args.seed, horizon_s=horizon)
+            n_dags=args.dags, seed=args.seed, horizon_s=horizon,
+            control_plane=mode)
         for label, rows in tables.items():
             print(format_table(
                 ["site", "# jobs", "avg completion (s)"],
@@ -185,12 +198,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "fig7":
         result = fig7_policy(n_dags=args.dags, seed=args.seed,
-                             horizon_s=horizon)
+                             horizon_s=horizon, control_plane=mode)
         _print_lineup(result, lineup)
         return 0
     if args.command == "fig8":
         result = fig8_timeouts(n_dags=args.dags, seed=args.seed,
-                               horizon_s=horizon)
+                               horizon_s=horizon, control_plane=mode)
         rows = [[label, result[label].resubmissions, result[label].timeouts]
                 for label in lineup + ("num-cpus-nofb",)]
         print(format_table(["strategy", "resubmissions", "timeouts"], rows))

@@ -4,7 +4,12 @@ The client:
 
 1. receives an abstract DAG from the user (here: from the workflow
    package) and forwards it to the server with client information;
-2. polls the server's message-handling module for planning decisions;
+2. receives planning decisions from the server's message-handling
+   module — by fixed-period polling in ``"poll"`` mode, or by push
+   delivery in ``"push"`` mode (the default): the client registers a
+   tiny ``deliver`` RPC service and the server sends each drained
+   outbox batch straight to it, so an idle client schedules zero
+   kernel events and a busy one costs one RPC per batch;
 3. executes each plan: stages missing input files to the execution
    site via GridFTP, creates the submission and hands it to Condor-G;
 4. runs the **job tracker** on every submission, reporting completions
@@ -14,6 +19,10 @@ The client:
 5. on completion, materializes the job's output files at the execution
    site and registers them in the RLS, which is what makes downstream
    jobs ready and future DAG reductions possible.
+
+Reports that matter retry while the server is unreachable (recovery
+window) with capped jittered exponential backoff; in push mode a retry
+also fires the instant the server re-registers on the bus.
 """
 
 from __future__ import annotations
@@ -31,11 +40,20 @@ from repro.sim.engine import Environment
 from repro.simgrid.vo import User
 from repro.workflow.dag import Dag
 
-__all__ = ["SphinxClient"]
+__all__ = ["SphinxClient", "client_service_name"]
+
+
+def client_service_name(client_id: str) -> str:
+    """The bus service a push-mode client listens on (shared naming
+    convention — the server derives it from the client id alone)."""
+    return f"sphinx-client-{client_id}"
 
 
 class SphinxClient:
     """One scheduling agent bound to one server and one user."""
+
+    #: ceiling for the exponential report-retry backoff (seconds).
+    RETRY_CAP_S = 60.0
 
     def __init__(
         self,
@@ -48,9 +66,16 @@ class SphinxClient:
         user: User,
         client_id: str,
         poll_s: float = 2.0,
+        mode: str = "push",
+        rng=None,
     ):
         if poll_s <= 0:
             raise ValueError("poll period must be > 0")
+        if mode not in ("poll", "push"):
+            raise ValueError(
+                f"unknown control-plane mode {mode!r} "
+                "(expected 'poll' or 'push')"
+            )
         self.env = env
         self.bus = bus
         self.server_service = server_service
@@ -60,7 +85,13 @@ class SphinxClient:
         self.user = user
         self.client_id = client_id
         self.poll_s = poll_s
-        self.tracker = JobTracker(env, condorg)
+        self.mode = mode
+        #: numpy Generator for retry jitter (None = no jitter); the
+        #: runner hands each client its own named stream so backoff is
+        #: deterministic per seed and independent across clients.
+        self._rng = rng
+        self.tracker = JobTracker(env, condorg,
+                                  eager_terminal=(mode == "push"))
 
         #: dag_id -> (submitted_at, finished_at or None), measured here
         self.dag_times: dict[str, list[Optional[float]]] = {}
@@ -70,7 +101,12 @@ class SphinxClient:
         #: is reported finished — what the runner waits on, so runs end
         #: at the true completion instant rather than a poll boundary.
         self.done = env.event()
-        self._proc = env.process(self._poll_loop())
+        if mode == "push":
+            bus.register(client_service_name(client_id), "deliver",
+                         self._rpc_deliver)
+            self._proc = None
+        else:
+            self._proc = env.process(self._poll_loop())
 
     # -- user-facing API --------------------------------------------------------
     def submit_dag(self, dag: Dag):
@@ -120,16 +156,32 @@ class SphinxClient:
                 )
             except RpcFault:
                 messages = []  # transient server fault; retry next poll
-            for msg in messages:
-                if msg["kind"] == "plan":
-                    self.env.process(self._execute_plan(msg["payload"]))
-                elif msg["kind"] == "dag-finished":
-                    times = self.dag_times.get(msg["payload"]["dag_id"])
-                    if times is not None:
-                        times[1] = self.env.now
-            if messages and not self.done.triggered and self.all_dags_finished():
-                self.done.succeed(self.env.now)
+            self._dispatch(messages)
             yield self.env.timeout(self.poll_s)
+
+    def _rpc_deliver(self, messages: list) -> str:
+        """Push mode: the server hands us a drained outbox batch.
+
+        Delivery is at-least-once end to end: the server only puts a
+        batch on the wire for a service registered at our construction
+        and never unregistered, and a server that crashes *before*
+        flushing leaves the rows in its warehouse outbox, which the
+        recovered server re-delivers.
+        """
+        self._dispatch(messages)
+        return "ok"
+
+    def _dispatch(self, messages: list) -> None:
+        """Act on one drained batch of server messages."""
+        for msg in messages:
+            if msg["kind"] == "plan":
+                self.env.process(self._execute_plan(msg["payload"]))
+            elif msg["kind"] == "dag-finished":
+                times = self.dag_times.get(msg["payload"]["dag_id"])
+                if times is not None:
+                    times[1] = self.env.now
+        if messages and not self.done.triggered and self.all_dags_finished():
+            self.done.succeed(self.env.now)
 
     # -- plan execution --------------------------------------------------------------
     def _execute_plan(self, plan: dict):
@@ -175,10 +227,19 @@ class SphinxClient:
             )
         )
 
-        # 3. Track to a terminal state or timeout.
-        result = yield self.env.process(
-            self.tracker.track(handle, plan["timeout_s"], started_at=started_at)
-        )
+        # 3. Track to a terminal state or timeout.  Push mode runs the
+        # tracker inline (yield from) — the Process wrapper only adds a
+        # settle event per attempt; poll mode keeps it for trace
+        # compatibility.
+        if self.mode == "push":
+            result = yield from self.tracker.track(
+                handle, plan["timeout_s"], started_at=started_at
+            )
+        else:
+            result = yield self.env.process(
+                self.tracker.track(handle, plan["timeout_s"],
+                                   started_at=started_at)
+            )
 
         if result.outcome == "completed":
             # 4. Outputs materialize at the execution site.
@@ -251,7 +312,15 @@ class SphinxClient:
         service name; non-transient faults (e.g. the restored server does
         not know this job) are given up on — the server's replanning path
         owns those.
+
+        Retry pacing is capped jittered exponential backoff (base
+        ``poll_s``, cap :attr:`RETRY_CAP_S`): a fleet of trackers whose
+        jobs all finished inside one server fault window must not hammer
+        the recovering server in lockstep every ``poll_s``.  In push
+        mode a retry additionally fires the instant the service
+        re-registers on the bus, whichever comes first.
         """
+        attempt = 0
         while True:
             try:
                 ack = yield self._report(
@@ -263,4 +332,22 @@ class SphinxClient:
             except RpcFault as fault:
                 if "unknown service" not in str(fault):
                     return None
-                yield self.env.timeout(self.poll_s)
+                delay = self._retry_delay(attempt)
+                attempt += 1
+                if self.mode == "push":
+                    pause = self.env.timeout(delay)
+                    yield self.env.any_of([
+                        self.bus.on_register(self.server_service),
+                        pause,
+                    ])
+                    if self.env.lean and not pause.processed:
+                        pause.cancel()  # reconnect beat the backoff timer
+                else:
+                    yield self.env.timeout(delay)
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        base = min(self.poll_s * (2.0 ** attempt), self.RETRY_CAP_S)
+        if self._rng is not None:
+            return base * float(self._rng.uniform(0.5, 1.5))
+        return base

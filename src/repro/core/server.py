@@ -1,8 +1,8 @@
 """The SPHINX server: control process + scheduling modules (paper §3.2).
 
-The server runs a periodic control loop (the "control process") that
-moves DAGs and jobs through the finite-state automaton, invoking the
-module responsible for each state:
+The server runs a control loop (the "control process") that moves DAGs
+and jobs through the finite-state automaton, invoking the module
+responsible for each state:
 
 * RECEIVED dags -> **DAG reducer** (replica-aware elimination),
 * RUNNING dags  -> **planner** (ready-set selection, policy filtering,
@@ -15,9 +15,22 @@ server from the last checkpoint (paper: "easily recoverable from
 internal component failures").
 
 Client communication is message-based over the RPC bus: clients call
-``submit_dag`` / ``report_status`` and poll ``fetch_messages`` for
+``submit_dag`` / ``report_status`` and drain ``fetch_messages`` for
 planning decisions, mirroring the message-handling module's
 incoming/outgoing tables.
+
+Wakeup discipline (``ServerConfig.mode``): in ``"poll"`` mode the
+control process ticks on a fixed ``tick_s`` period, the paper's
+literal cron-style loop.  In ``"push"`` mode (the default) the loop
+blocks on a :class:`~repro.sim.engine.Wakeup` latch signaled by the
+things that can actually create plannable work — a DAG submission, a
+completion/cancellation report (which also releases active slots,
+refunds quota, and updates feedback), a virtual-data regeneration —
+plus a deadline timer derived from the nearest pending job timeout,
+the dirty-dag retry period, and the next checkpoint.  A quiescent
+server schedules zero kernel events.  The FSA/table semantics are
+unchanged: state still lives in warehouse rows and every pass runs the
+same ``tick()``; only the wakeup discipline differs.
 """
 
 from __future__ import annotations
@@ -27,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro.core.algorithms import SiteView, make_algorithm
+from repro.core.client import client_service_name
 from repro.core.dag_reducer import DagReducer
 from repro.core.feedback import ReliabilityTracker
 from repro.core.policies import PolicyEngine, QuotaExceededError
@@ -37,7 +51,7 @@ from repro.core.warehouse import Warehouse
 from repro.services.monitoring import MonitoringService
 from repro.services.rls import ReplicaService
 from repro.services.rpc import RpcBus
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Wakeup
 from repro.workflow.dag import Dag
 
 __all__ = ["ServerConfig", "SphinxServer"]
@@ -66,7 +80,12 @@ class ServerConfig:
     algorithm_kwargs: dict[str, Any] = field(default_factory=dict)
     #: feedback reliability filter on feasible sites (paper's with/without).
     use_feedback: bool = True
-    #: control-process period.
+    #: control-plane wakeup discipline: "push" (event-driven, default)
+    #: or "poll" (fixed ``tick_s`` cadence) — see the module docstring.
+    mode: str = "push"
+    #: control-process period in "poll" mode; in "push" mode the retry
+    #: pacing for dags that could not be fully planned (quota/feedback
+    #: pressure may change without an observable report).
     tick_s: float = 5.0
     #: client-side job timeout before cancellation + replan.
     job_timeout_s: float = 1800.0
@@ -101,6 +120,11 @@ class SphinxServer:
     ):
         if not site_catalog:
             raise ValueError("server needs at least one site in the catalog")
+        if config.mode not in ("poll", "push"):
+            raise ValueError(
+                f"unknown control-plane mode {config.mode!r} "
+                "(expected 'poll' or 'push')"
+            )
         self.env = env
         self.bus = bus
         self.config = config
@@ -153,6 +177,26 @@ class SphinxServer:
         bus.register(self.service_name, "submit_dag", self._rpc_submit_dag)
         bus.register(self.service_name, "report_status", self._rpc_report_status)
         bus.register(self.service_name, "fetch_messages", self._rpc_fetch_messages)
+
+        #: push mode: the control-process latch (see module docstring)
+        #: and the set of clients already rung since their last drain.
+        self._push = config.mode == "push"
+        self._wakeup = Wakeup(env)
+        #: sim time of the earliest live deadline timer (inf = none)
+        #: and the timer itself; see _arm_deadline.
+        self._deadline_at = float("inf")
+        self._deadline_ev = None
+        #: clients with outbox rows enqueued since the last flush, in
+        #: first-dirtied order (dict-as-ordered-set for determinism).
+        self._dirty_clients: dict[str, None] = {}
+        if self._push:
+            # A restored warehouse may carry undelivered messages (e.g.
+            # dag-finished notifications recovery keeps); deliver them
+            # now so clients are not left waiting on a ring that the
+            # crashed server already consumed.
+            for row in self.warehouse.table("outbox").select(copy=False):
+                self._dirty_clients[row["client_id"]] = None
+            self._flush_outbox()
 
         self.last_checkpoint: Optional[dict] = None
         self._proc = env.process(self._control_process())
@@ -234,6 +278,7 @@ class SphinxServer:
                 "completion_time_s": None,
             })
         self._dag_cache[dag.dag_id] = dag
+        self._wake()
         return "accepted"
 
     def _rpc_report_status(
@@ -275,6 +320,7 @@ class SphinxServer:
             # A completion may unlock successors: replan this dag.
             self._dirty_dags.add(row["dag_id"])
             self._maybe_finish_dag(row["dag_id"])
+            self._wake()
         elif status == "cancelled":
             if row["state"] in (_JOB_FINISHED, _JOB_CANCELLED):
                 return "duplicate"
@@ -292,6 +338,16 @@ class SphinxServer:
                 self.stage_in_failures += 1
                 if missing:
                     self._regenerate_lost_inputs(row["dag_id"], missing)
+                elif self._push:
+                    # Every source had a live replica, so the transfer
+                    # failed at the *destination* — an unreachable site.
+                    # Push mode replans the instant this report lands;
+                    # without a penalty the planner re-picks the dead
+                    # site (its completion estimate is frozen at its
+                    # healthy-era value) and hot-loops plan -> stage-in
+                    # -> cancel until the horizon.  Poll mode keeps the
+                    # legacy behaviour for trace compatibility.
+                    self.feedback.record_cancellation(site)
             else:
                 self.feedback.record_cancellation(site)
             self.resubmission_count += 1
@@ -300,6 +356,8 @@ class SphinxServer:
             user = self._dag_user(row["dag_id"])
             dag = self._dag(row["dag_id"])
             self.policy.refund(user, site, dag.job(job_id).requirements)
+            # Slot released, quota refunded, feedback updated: replan now.
+            self._wake()
             if (self.config.max_attempts is not None
                     and row["attempts"] >= self.config.max_attempts):
                 raise RuntimeError(
@@ -307,10 +365,14 @@ class SphinxServer:
                 )
         else:
             raise ValueError(f"unknown status {status!r}")
+        self._flush_outbox()  # e.g. a dag-finished message from this report
         return "ok"
 
     def _rpc_fetch_messages(self, client_id: str) -> list[dict]:
         """Drain this client's outgoing messages, oldest first."""
+        # Poll-mode drain; push mode delivers directly (_flush_outbox),
+        # so clear any pending-flush mark to avoid an empty delivery.
+        self._dirty_clients.pop(client_id, None)
         outbox = self.warehouse.table("outbox")
         # copy=False is safe: delete() unlinks the dicts from the table
         # but they stay readable for building the reply below.
@@ -330,20 +392,104 @@ class SphinxServer:
             if self.config.checkpoint_interval_s > 0
             else None
         )
+        push = self._push
         while True:
             self.tick()
             if next_checkpoint is not None and self.env.now >= next_checkpoint:
                 self.checkpoint()
                 next_checkpoint = self.env.now + self.config.checkpoint_interval_s
             try:
-                yield self.env.timeout(self.config.tick_s)
+                if not push:
+                    yield self.env.timeout(self.config.tick_s)
+                    continue
+                wake = self._wakeup.wait()
+                if wake.triggered:
+                    # A ring landed during this pass; run another now.
+                    yield wake
+                    continue
+                deadline = self._next_deadline(next_checkpoint)
+                if deadline is not None:
+                    delay = deadline - self.env.now
+                    if delay <= 0.0:
+                        # An overdue deadline must not busy-spin the
+                        # loop at one instant; pace it like a poll tick.
+                        delay = self.config.tick_s
+                    self._arm_deadline(self.env.now + delay)
+                yield wake  # quiescent server: zero scheduled events
             except Interrupt:
                 return  # shutdown
+
+    def _wake(self) -> None:
+        """Signal the push-mode control latch (no-op in poll mode)."""
+        if self._push:
+            self._wakeup.set()
+
+    def _arm_deadline(self, when: float) -> None:
+        """Ensure a live timer rings the control latch at/before ``when``.
+
+        Kernel timers cannot be withdrawn, so instead of arming a fresh
+        timeout every pass (one stale heap entry each), the loop keeps at
+        most one *live* deadline timer and re-arms only when the needed
+        deadline moves earlier than it.  A timer that fires early (its
+        deadline was superseded by a later one) just triggers a recompute
+        pass, which is a no-op.
+        """
+        if self.env.now < self._deadline_at <= when:
+            return  # the live timer already covers this deadline
+        stale = self._deadline_ev
+        if stale is not None and self.env.lean and not stale.processed:
+            stale.cancel()  # superseded by an earlier deadline
+        self._deadline_at = when
+
+        def _ring(_ev, when=when):
+            if self._deadline_at == when:
+                self._deadline_at = float("inf")
+                self._deadline_ev = None
+            self._wakeup.set()
+
+        self._deadline_ev = self.env.timeout(when - self.env.now)
+        self._deadline_ev.add_callback(_ring)
+
+    def _next_deadline(self, next_checkpoint: Optional[float]) -> Optional[float]:
+        """The next instant a pass must run even without a wakeup.
+
+        Three sources: the checkpoint period; a retry deadline while
+        any dag is dirty (its ready jobs could not all be planned —
+        quota or feedback pressure can relax without a report); and a
+        safety net at the nearest pending job timeout, in case a
+        client-side report is lost and no wakeup ever arrives.
+        """
+        deadline = next_checkpoint
+        if self._dirty_dags:
+            retry = self.env.now + self.config.tick_s
+            deadline = retry if deadline is None else min(deadline, retry)
+        pending = self._nearest_job_timeout()
+        if pending is not None and (deadline is None or pending < deadline):
+            deadline = pending
+        return deadline
+
+    def _nearest_job_timeout(self) -> Optional[float]:
+        """Earliest instant an in-flight job could have timed out."""
+        jobs = self.warehouse.table("jobs")
+        nearest = None
+        for state in (_JOB_PLANNED, _JOB_SUBMITTED):
+            for row in jobs.select(where={"state": state}, copy=False):
+                planned_at = row["planned_at"]
+                if planned_at is None:
+                    continue
+                if nearest is None or planned_at < nearest:
+                    nearest = planned_at
+        if nearest is None:
+            return None
+        # Grace for plan delivery + staging before the client's tracker
+        # starts its own clock; a late pass here is a harmless no-op.
+        return nearest + self.config.job_timeout_s + self.config.tick_s
 
     def tick(self) -> None:
         """One control-process pass (public for tests and recovery)."""
         self._reduce_new_dags()
         self._plan_ready_jobs()
+        self._flush_outbox()
 
     def checkpoint(self) -> None:
         """Snapshot the warehouse (the recovery point)."""
@@ -583,6 +729,43 @@ class SphinxServer:
             "kind": kind,
             "payload": payload,
         })
+        if self._push:
+            self._dirty_clients[client_id] = None
+
+    def _flush_outbox(self) -> None:
+        """Push delivery: send each dirty client its drained batch.
+
+        Called at the end of every enqueue scope (a control pass, a
+        report handler), so a planning pass emitting many messages for
+        one client costs a single ``deliver`` call — and, on a lean
+        kernel, a single kernel event, versus the notify/fetch round
+        trip's four.  The call is fire-and-forget (the bus pre-defuses
+        faults); client delivery services are registered at construction
+        and never unregistered, so a batch put on the wire here cannot
+        be refused.  A client that never registered one degrades to
+        poll semantics: its rows stay in the outbox for
+        ``fetch_messages``.  Poll mode never marks clients dirty and
+        keeps the ``fetch_messages`` drain untouched.
+        """
+        if not self._dirty_clients:
+            return
+        outbox = self.warehouse.table("outbox")
+        proxy = f"/CN={self.service_name}"
+        for client_id in list(self._dirty_clients):
+            if not self.bus.has_service(client_service_name(client_id)):
+                continue
+            mine = outbox.select(where={"client_id": client_id}, copy=False)
+            for msg in mine:
+                outbox.delete(msg["msg_id"])
+            if mine:
+                self.bus.call(
+                    proxy,
+                    client_service_name(client_id),
+                    "deliver",
+                    [{"kind": m["kind"], "payload": m["payload"]}
+                     for m in mine],
+                )
+        self._dirty_clients.clear()
 
     def _dag(self, dag_id: str) -> Dag:
         dag = self._dag_cache.get(dag_id)

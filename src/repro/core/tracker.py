@@ -54,9 +54,15 @@ class TrackerStats:
 class JobTracker:
     """Watches Condor-G handles, applies timeouts, collects timings."""
 
-    def __init__(self, env: Environment, condorg: CondorG):
+    def __init__(self, env: Environment, condorg: CondorG,
+                 eager_terminal: bool = False):
         self.env = env
         self.condorg = condorg
+        #: when True, a handle that is already terminal at track() entry
+        #: resolves without arming the timeout/AnyOf pair — two heap
+        #: entries per job the event-driven control plane does not need.
+        #: Kept off in poll mode so its event trace stays bit-identical.
+        self.eager_terminal = eager_terminal
         self.stats = TrackerStats()
 
     def track(self, handle: GridJobHandle, timeout_s: float,
@@ -71,6 +77,12 @@ class JobTracker:
         if timeout_s <= 0:
             raise ValueError("timeout must be > 0")
         t0 = started_at if started_at is not None else handle.submitted_at
+
+        if self.eager_terminal and handle.status.terminal:
+            status = handle.status
+            if status is GridJobStatus.COMPLETED:
+                return self._completed(handle, t0)
+            return self._cancelled(handle, reason=status.value)
 
         terminal = self.env.event()
 
@@ -87,6 +99,10 @@ class JobTracker:
         yield self.env.any_of([terminal, deadline])
 
         if terminal.triggered:  # prefer a real outcome over a same-instant timeout
+            if self.env.lean and not deadline.processed:
+                # The job resolved first; the safety-net timer would sit
+                # in the heap until timeout_s — withdraw it.
+                deadline.cancel()
             status = terminal.value
             if status is GridJobStatus.COMPLETED:
                 return self._completed(handle, t0)

@@ -14,6 +14,7 @@
 """
 
 from repro.experiments.scenarios import (
+    ControlPlaneMode,
     Scenario,
     ServerSpec,
     default_fault_windows,
@@ -38,6 +39,7 @@ from repro.experiments.parallel import (
 from repro.experiments.report import format_table
 
 __all__ = [
+    "ControlPlaneMode",
     "ExperimentResult",
     "Scenario",
     "ServerResult",

@@ -20,7 +20,11 @@ from typing import Optional
 
 from repro.experiments.metrics import rank_correlation, site_distribution_table
 from repro.experiments.runner import ExperimentResult, run_scenario
-from repro.experiments.scenarios import Scenario, ServerSpec
+from repro.experiments.scenarios import (
+    ControlPlaneMode,
+    Scenario,
+    ServerSpec,
+)
 
 __all__ = [
     "fig2_feedback",
@@ -50,7 +54,8 @@ ALGORITHM_LINEUP: tuple[ServerSpec, ...] = (
 
 # -- scenario builders ----------------------------------------------------------
 def fig2_scenario(n_dags: int = 30, seed: int = 42,
-                  horizon_s: float = 24 * 3600.0) -> Scenario:
+                  horizon_s: float = 24 * 3600.0,
+                  control_plane: str = ControlPlaneMode.PUSH) -> Scenario:
     """Fig. 2: round-robin and #CPUs, each with and without feedback."""
     return Scenario(
         name=f"fig2-{n_dags}dags",
@@ -63,11 +68,13 @@ def fig2_scenario(n_dags: int = 30, seed: int = 42,
         n_dags=n_dags,
         seed=seed,
         horizon_s=horizon_s,
+        control_plane=control_plane,
     )
 
 
 def fig345_scenario(n_dags: int = 30, seed: int = 42,
-                    horizon_s: float = 24 * 3600.0) -> Scenario:
+                    horizon_s: float = 24 * 3600.0,
+                    control_plane: str = ControlPlaneMode.PUSH) -> Scenario:
     """Figs. 3 (30 DAGs), 4 (60), 5 (120): the four-way comparison."""
     return Scenario(
         name=f"fig345-{n_dags}dags",
@@ -75,11 +82,14 @@ def fig345_scenario(n_dags: int = 30, seed: int = 42,
         n_dags=n_dags,
         seed=seed,
         horizon_s=horizon_s,
+        control_plane=control_plane,
     )
 
 
 def fig5_pair_scenario(rival: str, n_dags: int = 120, seed: int = 42,
-                       horizon_s: float = 36 * 3600.0) -> Scenario:
+                       horizon_s: float = 36 * 3600.0,
+                       control_plane: str = ControlPlaneMode.PUSH,
+                       ) -> Scenario:
     """One pair-wise Fig. 5 run: the hybrid vs one rival algorithm."""
     return Scenario(
         name=f"fig5-pair-{rival}-{n_dags}dags",
@@ -90,11 +100,13 @@ def fig5_pair_scenario(rival: str, n_dags: int = 120, seed: int = 42,
         n_dags=n_dags,
         seed=seed,
         horizon_s=horizon_s,
+        control_plane=control_plane,
     )
 
 
 def fig6_scenario(n_dags: int = 120, seed: int = 42,
-                  horizon_s: float = 24 * 3600.0) -> Scenario:
+                  horizon_s: float = 24 * 3600.0,
+                  control_plane: str = ControlPlaneMode.PUSH) -> Scenario:
     """Fig. 6: completion-time vs #CPUs for the site-distribution plot."""
     return Scenario(
         name=f"fig6-{n_dags}dags",
@@ -105,12 +117,14 @@ def fig6_scenario(n_dags: int = 120, seed: int = 42,
         n_dags=n_dags,
         seed=seed,
         horizon_s=horizon_s,
+        control_plane=control_plane,
     )
 
 
 def fig7_scenario(n_dags: int = 120, seed: int = 42,
                   horizon_s: float = 24 * 3600.0,
-                  cpu_quota_s: Optional[float] = None) -> Scenario:
+                  cpu_quota_s: Optional[float] = None,
+                  control_plane: str = ControlPlaneMode.PUSH) -> Scenario:
     """Fig. 7: the four-way comparison under per-user usage quotas."""
     if cpu_quota_s is None:
         # Each job needs 60 CPU-seconds; a site may take at most 15% of
@@ -124,13 +138,15 @@ def fig7_scenario(n_dags: int = 120, seed: int = 42,
         n_dags=n_dags,
         seed=seed,
         horizon_s=horizon_s,
+        control_plane=control_plane,
         job_requirements={"cpu_seconds": 60.0},
         quota_per_site={"cpu_seconds": cpu_quota_s},
     )
 
 
 def fig8_scenario(n_dags: int = 120, seed: int = 42,
-                  horizon_s: float = 24 * 3600.0) -> Scenario:
+                  horizon_s: float = 24 * 3600.0,
+                  control_plane: str = ControlPlaneMode.PUSH) -> Scenario:
     """Fig. 8: the four-way lineup plus #CPUs without feedback."""
     return Scenario(
         name=f"fig8-{n_dags}dags",
@@ -140,33 +156,40 @@ def fig8_scenario(n_dags: int = 120, seed: int = 42,
         n_dags=n_dags,
         seed=seed,
         horizon_s=horizon_s,
+        control_plane=control_plane,
     )
 
 
 # -- drivers ---------------------------------------------------------------------
 def fig2_feedback(n_dags: int = 30, seed: int = 42,
-                  horizon_s: float = 24 * 3600.0) -> ExperimentResult:
+                  horizon_s: float = 24 * 3600.0,
+                  control_plane: str = ControlPlaneMode.PUSH,
+                  ) -> ExperimentResult:
     """Fig. 2: round-robin and #CPUs, each with and without feedback.
 
     Expected shape: each with-feedback variant beats its without-
     feedback twin on average DAG completion time (paper: by 20-29%).
     """
-    return run_scenario(fig2_scenario(n_dags, seed, horizon_s))
+    return run_scenario(fig2_scenario(n_dags, seed, horizon_s, control_plane))
 
 
 def fig3_algorithms(n_dags: int = 30, seed: int = 42,
-                    horizon_s: float = 24 * 3600.0) -> ExperimentResult:
+                    horizon_s: float = 24 * 3600.0,
+                    control_plane: str = ControlPlaneMode.PUSH,
+                    ) -> ExperimentResult:
     """Figs. 3 (30 DAGs), 4 (60), 5 (120): the four-way comparison.
 
     Expected shape: completion-time wins average DAG completion, and
     its margin grows with load (17% at 30 DAGs -> 33-50% at 60-120);
     its jobs also spend less idle (queue) time.
     """
-    return run_scenario(fig345_scenario(n_dags, seed, horizon_s))
+    return run_scenario(fig345_scenario(n_dags, seed, horizon_s,
+                                        control_plane))
 
 
 def fig5_pairwise(n_dags: int = 120, seed: int = 42,
-                  horizon_s: float = 36 * 3600.0) -> dict:
+                  horizon_s: float = 36 * 3600.0,
+                  control_plane: str = ControlPlaneMode.PUSH) -> dict:
     """Fig. 5 via the paper's *pair-wise* protocol.
 
     At 120 DAGs a four-way group run doubles the SPHINX-side grid load
@@ -179,7 +202,9 @@ def fig5_pairwise(n_dags: int = 120, seed: int = 42,
     hybrid and that rival under equal conditions.
     """
     return {
-        rival: run_scenario(fig5_pair_scenario(rival, n_dags, seed, horizon_s))
+        rival: run_scenario(
+            fig5_pair_scenario(rival, n_dags, seed, horizon_s, control_plane)
+        )
         for rival in ("queue-length", "num-cpus", "round-robin")
     }
 
@@ -205,7 +230,8 @@ def fig6_tables(result: ExperimentResult):
 
 
 def fig6_site_distribution(n_dags: int = 120, seed: int = 42,
-                           horizon_s: float = 24 * 3600.0):
+                           horizon_s: float = 24 * 3600.0,
+                           control_plane: str = ControlPlaneMode.PUSH):
     """Fig. 6: per-site job distribution vs avg completion time.
 
     Returns ``(result, tables, correlations)`` where ``tables[label]``
@@ -214,14 +240,17 @@ def fig6_site_distribution(n_dags: int = 120, seed: int = 42,
     shape: strongly negative for completion-time (inverse proportional,
     Fig. 6a); weak/indifferent for num-cpus (Fig. 6b).
     """
-    result = run_scenario(fig6_scenario(n_dags, seed, horizon_s))
+    result = run_scenario(fig6_scenario(n_dags, seed, horizon_s,
+                                        control_plane))
     tables, correlations = fig6_tables(result)
     return result, tables, correlations
 
 
 def fig7_policy(n_dags: int = 120, seed: int = 42,
                 horizon_s: float = 24 * 3600.0,
-                cpu_quota_s: Optional[float] = None) -> ExperimentResult:
+                cpu_quota_s: Optional[float] = None,
+                control_plane: str = ControlPlaneMode.PUSH,
+                ) -> ExperimentResult:
     """Fig. 7: the four-way comparison under per-user usage quotas.
 
     Every job demands its nominal CPU-seconds; each user holds a per-
@@ -230,11 +259,14 @@ def fig7_policy(n_dags: int = 120, seed: int = 42,
     shape: per-algorithm results within a modest factor of the
     unconstrained run (the paper: "similar to those without policy").
     """
-    return run_scenario(fig7_scenario(n_dags, seed, horizon_s, cpu_quota_s))
+    return run_scenario(fig7_scenario(n_dags, seed, horizon_s, cpu_quota_s,
+                                      control_plane))
 
 
 def fig8_timeouts(n_dags: int = 120, seed: int = 42,
-                  horizon_s: float = 24 * 3600.0) -> ExperimentResult:
+                  horizon_s: float = 24 * 3600.0,
+                  control_plane: str = ControlPlaneMode.PUSH,
+                  ) -> ExperimentResult:
     """Fig. 8: rescheduling (timeout) counts per strategy.
 
     The paper's series: completion-time 125, round-robin(+fb) 154,
@@ -242,4 +274,5 @@ def fig8_timeouts(n_dags: int = 120, seed: int = 42,
     without-feedback variant resubmits an order of magnitude more than
     the feedback-driven strategies.
     """
-    return run_scenario(fig8_scenario(n_dags, seed, horizon_s))
+    return run_scenario(fig8_scenario(n_dags, seed, horizon_s,
+                                      control_plane))

@@ -37,7 +37,11 @@ from repro.experiments.figures import (
     fig8_scenario,
 )
 from repro.experiments.runner import ExperimentResult, run_scenario
-from repro.experiments.scenarios import Scenario, ServerSpec
+from repro.experiments.scenarios import (
+    ControlPlaneMode,
+    Scenario,
+    ServerSpec,
+)
 
 __all__ = [
     "SuiteCase",
@@ -74,29 +78,41 @@ def _scaled(paper_n: int, scale: float, minimum: int = 4) -> int:
     return max(minimum, round(paper_n * scale))
 
 
-def default_suite(scale: float = 1.0, seed: int = 42) -> tuple[SuiteCase, ...]:
+def default_suite(scale: float = 1.0, seed: int = 42,
+                  control_plane: str = ControlPlaneMode.PUSH,
+                  ) -> tuple[SuiteCase, ...]:
     """The full evaluation: Figs. 2-8 plus the two ablations.
 
     ``scale`` shrinks every workload proportionally (floor of 4 DAGs),
     mirroring ``REPRO_BENCH_SCALE`` in the benchmark harness; shape
-    criteria are only meaningful at scale 1.0.
+    criteria are only meaningful at scale 1.0.  ``control_plane``
+    selects the event-driven (``"push"``, default) or fixed-period
+    (``"poll"``) control plane across every case.
     """
     if scale <= 0:
         raise ValueError("scale must be > 0")
+    mode = control_plane
     cases = [
-        SuiteCase("fig2", fig2_scenario(_scaled(30, scale), seed)),
-        SuiteCase("fig3", fig345_scenario(_scaled(30, scale), seed)),
-        SuiteCase("fig4", fig345_scenario(_scaled(60, scale), seed)),
+        SuiteCase("fig2", fig2_scenario(_scaled(30, scale), seed,
+                                        control_plane=mode)),
+        SuiteCase("fig3", fig345_scenario(_scaled(30, scale), seed,
+                                          control_plane=mode)),
+        SuiteCase("fig4", fig345_scenario(_scaled(60, scale), seed,
+                                          control_plane=mode)),
     ]
     for rival in ("queue-length", "num-cpus", "round-robin"):
         cases.append(SuiteCase(
             f"fig5-pair-{rival}",
-            fig5_pair_scenario(rival, _scaled(120, scale), seed),
+            fig5_pair_scenario(rival, _scaled(120, scale), seed,
+                               control_plane=mode),
         ))
     cases += [
-        SuiteCase("fig6", fig6_scenario(_scaled(120, scale), seed)),
-        SuiteCase("fig7", fig7_scenario(_scaled(120, scale), seed)),
-        SuiteCase("fig8", fig8_scenario(_scaled(120, scale), seed)),
+        SuiteCase("fig6", fig6_scenario(_scaled(120, scale), seed,
+                                        control_plane=mode)),
+        SuiteCase("fig7", fig7_scenario(_scaled(120, scale), seed,
+                                        control_plane=mode)),
+        SuiteCase("fig8", fig8_scenario(_scaled(120, scale), seed,
+                                        control_plane=mode)),
         SuiteCase("ablation-estimator", Scenario(
             name=f"ablation-estimator-{_scaled(30, scale)}dags",
             servers=(
@@ -108,6 +124,7 @@ def default_suite(scale: float = 1.0, seed: int = 42) -> tuple[SuiteCase, ...]:
             ),
             n_dags=_scaled(30, scale),
             seed=seed,
+            control_plane=mode,
         )),
     ]
     for interval in (30.0, 300.0, 900.0):
@@ -122,6 +139,7 @@ def default_suite(scale: float = 1.0, seed: int = 42) -> tuple[SuiteCase, ...]:
                 n_dags=_scaled(30, scale),
                 seed=seed,
                 monitoring_interval_s=interval,
+                control_plane=mode,
             ),
         ))
     return tuple(cases)
@@ -185,7 +203,8 @@ def headline_metrics(result: ExperimentResult) -> dict:
 
 
 def suite_payload(runs: Sequence[SuiteRun], scale: float,
-                  workers: int) -> dict:
+                  workers: int,
+                  control_plane: str = ControlPlaneMode.PUSH) -> dict:
     """The BENCH_SUITE.json document for one suite invocation."""
     figures = {}
     for run in runs:
@@ -199,6 +218,7 @@ def suite_payload(runs: Sequence[SuiteRun], scale: float,
         "schema": SCHEMA,
         "scale": scale,
         "workers": workers,
+        "control_plane": control_plane,
         "cases": [run.name for run in runs],
         "total_wall_s": sum(run.wall_s for run in runs),
         "total_events": sum(run.result.event_count for run in runs),

@@ -116,6 +116,7 @@ def _build_server(
         algorithm=spec.algorithm,
         algorithm_kwargs=dict(spec.algorithm_kwargs),
         use_feedback=spec.use_feedback,
+        mode=scenario.control_plane,
         tick_s=scenario.tick_s,
         job_timeout_s=scenario.job_timeout_s,
         use_prediction_correction=spec.use_prediction_correction,
@@ -131,8 +132,15 @@ def _build_server(
 
 def run_scenario(scenario: Scenario,
                  env: Optional[Environment] = None) -> ExperimentResult:
-    """Run one scenario to completion (or its horizon)."""
-    env = env or Environment()
+    """Run one scenario to completion (or its horizon).
+
+    The event-driven control plane runs on the lean kernel
+    (``Environment(lean=True)``): same physics, no bookkeeping events.
+    Poll mode keeps the legacy kernel so its traces stay bit-identical
+    to the historical baselines.
+    """
+    if env is None:
+        env = Environment(lean=(scenario.control_plane == "push"))
     rng = RngStreams(scenario.seed)
     grid = make_grid3(env, rng, sites=scenario.sites,
                       background=scenario.background)
@@ -158,6 +166,11 @@ def run_scenario(scenario: Scenario,
         client = SphinxClient(
             env, bus, server.service_name, condorg, gridftp, rls,
             user, client_id=f"client-{spec.label}", poll_s=scenario.poll_s,
+            mode=scenario.control_plane,
+            # Dedicated jitter stream per client: drawing backoff jitter
+            # must never perturb workload/grid streams (and is only
+            # drawn at all while a server is unreachable).
+            rng=rng.stream(f"backoff-{spec.label}"),
         )
         servers[spec.label] = server
         clients[spec.label] = client

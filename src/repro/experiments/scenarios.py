@@ -37,7 +37,24 @@ from repro.simgrid.grid import GRID3_SITES, SiteSpec
 from repro.simgrid.site import SiteState
 from repro.workflow.generator import WorkloadSpec
 
-__all__ = ["ServerSpec", "Scenario", "default_fault_windows"]
+__all__ = ["ServerSpec", "Scenario", "ControlPlaneMode",
+           "default_fault_windows"]
+
+
+class ControlPlaneMode:
+    """Valid values for :attr:`Scenario.control_plane`.
+
+    ``POLL`` is the original fixed-period control plane (server ticks
+    every ``tick_s``, clients poll every ``poll_s``); ``PUSH`` is the
+    event-driven one (server wakes on plannable work or the nearest
+    deadline, clients drain on the server's doorbell).  Both modes
+    produce the same scheduling decisions; they differ in how many
+    kernel events it costs to reach them.
+    """
+
+    POLL = "poll"
+    PUSH = "push"
+    ALL = (POLL, PUSH)
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +104,8 @@ class Scenario:
     job_timeout_s: float = 1800.0
     tick_s: float = 5.0
     poll_s: float = 2.0
+    #: "push" (event-driven, default) or "poll" (fixed-period legacy).
+    control_plane: str = ControlPlaneMode.PUSH
     horizon_s: float = 24 * 3600.0
     #: per-job resource demands; empty = no policy run.
     job_requirements: dict = field(default_factory=dict)
@@ -103,6 +122,11 @@ class Scenario:
             raise ValueError(f"duplicate server labels in {labels}")
         if self.n_dags < 1:
             raise ValueError("need at least one DAG")
+        if self.control_plane not in ControlPlaneMode.ALL:
+            raise ValueError(
+                f"unknown control plane {self.control_plane!r} "
+                f"(expected one of {ControlPlaneMode.ALL})"
+            )
 
     def workload_spec(self) -> WorkloadSpec:
         kwargs = dict(

@@ -85,6 +85,9 @@ class RpcBus:
         self.env = env
         self.latency_s = latency_s
         self._services: dict[str, _Service] = {}
+        #: service name -> events armed by :meth:`on_register`, fired
+        #: (and cleared) the moment the service (re-)appears.
+        self._register_waiters: dict[str, list[Event]] = {}
         #: total calls dispatched (for experiment accounting)
         self.call_count = 0
 
@@ -103,6 +106,7 @@ class RpcBus:
         given, replace the service's ACL.
         """
         svc = self._services.get(service)
+        appeared = svc is None
         if svc is None:
             svc = self._services[service] = _Service(service)
         if method in svc.methods:
@@ -112,6 +116,23 @@ class RpcBus:
             svc.allowed_proxies = set(allowed_proxies)
         if allowed_vos is not None:
             svc.allowed_vos = set(allowed_vos)
+        if appeared:
+            for waiter in self._register_waiters.pop(service, ()):
+                waiter.succeed(service)
+
+    def on_register(self, service: str) -> Event:
+        """An event firing the next time ``service`` is (re-)registered.
+
+        The reconnect signal push-mode clients arm while a server is
+        unreachable: a recovered server re-registering under the same
+        name releases every waiter at the re-registration instant, so
+        queued reports retry immediately instead of at the next backoff
+        expiry.  Edge-triggered: registrations that happened *before*
+        the call do not satisfy it.
+        """
+        ev = self.env.event()
+        self._register_waiters.setdefault(service, []).append(ev)
+        return ev
 
     def unregister_service(self, service: str) -> bool:
         """Remove a whole service (a server shutting down).
@@ -124,6 +145,9 @@ class RpcBus:
     def services(self) -> tuple[str, ...]:
         return tuple(sorted(self._services))
 
+    def has_service(self, service: str) -> bool:
+        return service in self._services
+
     # -- invocation ----------------------------------------------------------------
     def call(self, proxy: str, service: str, method: str, *args: Any,
              **kwargs: Any) -> Event:
@@ -133,8 +157,16 @@ class RpcBus:
         after a round trip, or fails with :class:`RpcFault`.  The fault
         is pre-defused: a caller that ignores the result won't crash
         the simulation, matching fire-and-forget RPC semantics.
+
+        On a lean kernel (``env.lean``) the round trip is carried by a
+        single kernel event: the handler runs and the result settles at
+        ``now + 2 * latency_s`` in one step, instead of one event per
+        leg.  The caller observes the same completion instant; only the
+        handler's execution instant moves from ``+latency`` to
+        ``+2*latency``, which no caller can distinguish remotely.
         """
         self.call_count += 1
+        lean = self.env.lean
         result = self.env.event()
 
         def _dispatch(_ev):
@@ -154,17 +186,29 @@ class RpcBus:
                 value = handler(*args, **kwargs)
                 _check_serializable(value, "result")
             except RpcFault as fault:
-                self._deliver(result, fault)
+                if lean:
+                    result.fail(fault)
+                    result.defuse()
+                else:
+                    self._deliver(result, fault)
                 return
             except Exception as exc:  # handler bug -> remote fault
-                self._deliver(
-                    result, RpcFault(f"{service}.{method} raised: {exc}", exc)
-                )
+                fault = RpcFault(f"{service}.{method} raised: {exc}", exc)
+                if lean:
+                    result.fail(fault)
+                    result.defuse()
+                else:
+                    self._deliver(result, fault)
                 return
-            self._deliver(result, None, value)
+            if lean:
+                result.succeed(value)
+            else:
+                self._deliver(result, None, value)
 
-        # One-way latency to the server, dispatch, then latency back.
-        self.env.timeout(self.latency_s).add_callback(_dispatch)
+        # One-way latency to the server, dispatch, then latency back
+        # (folded into one hop on a lean kernel).
+        delay = 2.0 * self.latency_s if lean else self.latency_s
+        self.env.timeout(delay).add_callback(_dispatch)
         return result
 
     def _deliver(self, result: Event, fault: Optional[RpcFault],

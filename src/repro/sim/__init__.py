@@ -29,7 +29,7 @@ Public API::
     env.run()
 """
 
-from repro.sim.engine import Environment, Event, Interrupt, SimulationError
+from repro.sim.engine import Environment, Event, Interrupt, SimulationError, Wakeup
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store, PriorityStore
 from repro.sim.rng import RngStreams
@@ -44,4 +44,5 @@ __all__ = [
     "SimulationError",
     "Store",
     "PriorityStore",
+    "Wakeup",
 ]

@@ -13,6 +13,19 @@ Determinism contract
 Events scheduled for the same timestamp fire in (priority, insertion
 order).  No iteration over sets or dicts decides ordering anywhere in the
 kernel, so a fixed seed yields a bit-identical trace.
+
+Lean mode
+---------
+``Environment(lean=True)`` enables the event-lean kernel used by the
+event-driven ("push") control plane: an event that settles successfully
+with **no subscribers** skips the heap round-trip entirely and is marked
+processed in place (late subscribers still observe it through
+:meth:`Event.add_callback`'s processed branch), and processes start
+inline at their spawn instant instead of via a boot event.  Simulated
+physics are unchanged — only bookkeeping events disappear — but event
+ordering at an instant can differ from the legacy trace, so the default
+(``lean=False``) keeps the historical bit-identical behaviour that the
+polling control plane is benchmarked against.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "Wakeup",
     "AnyOf",
     "AllOf",
     "Interrupt",
@@ -115,6 +129,12 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
+        if env.lean and not self.callbacks:
+            # Lean kernel: nobody is subscribed, so the heap round-trip
+            # would fire zero callbacks.  Mark processed in place; a late
+            # subscriber goes through add_callback's processed branch.
+            self.callbacks = None
+            return self
         env._seq += 1
         heappush(env._heap, (env._now, (priority << _KEY_SHIFT) + env._seq, self))
         return self
@@ -166,6 +186,22 @@ class Timeout(Event):
 
     __slots__ = ()
 
+    def cancel(self) -> None:
+        """Withdraw the timer: its heap entry becomes a tombstone.
+
+        The entry cannot be removed from the binary heap, but a
+        cancelled timer pops silently and is excluded from
+        ``event_count`` — the kernel never processed it.  Any remaining
+        callbacks are dropped, so only cancel a timer whose subscribers
+        no longer care (e.g. the losing branch of a resolved
+        :class:`AnyOf`).  Lean-kernel call sites use this to keep stale
+        safety-net timers out of the event ledger; cancelling from
+        legacy-trace code would change historical event counts.
+        """
+        if self.callbacks is None:
+            raise SimulationError("cancel() of a fired or cancelled timeout")
+        self.callbacks = None
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         # Timeouts are the single most-constructed object in any run;
         # Event.__init__ and Environment.schedule are inlined here to
@@ -179,6 +215,61 @@ class Timeout(Event):
         self._defused = False
         env._seq += 1
         heappush(env._heap, (env._now + delay, _NORMAL_BASE + env._seq, self))
+
+
+class Wakeup:
+    """A re-armable, level-triggered signal — the control-plane latch.
+
+    An :class:`Event` fires exactly once; event-driven control loops
+    instead need a doorbell that can ring any number of times and that
+    never loses a ring.  ``set()`` releases the currently armed
+    ``wait()`` event; a ``set()`` with no armed waiter is *latched*, so
+    the next ``wait()`` returns an already-triggered event and the loop
+    runs a pass immediately (no lost-wakeup race).  After the armed
+    event fires, the next ``wait()`` re-arms with a fresh event.
+
+    Concurrent waiters share the armed event; a ``Wakeup`` itself never
+    touches the event heap until it is actually signaled, so an idle
+    loop blocked on ``wait()`` costs zero kernel events.
+    """
+
+    __slots__ = ("env", "_armed", "_pending")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._armed: Optional[Event] = None
+        self._pending = False
+
+    @property
+    def pending(self) -> bool:
+        """True when a set() is latched and the next wait() won't block."""
+        return self._pending
+
+    def set(self) -> None:
+        """Signal the wakeup: release the armed waiter or latch the ring."""
+        armed = self._armed
+        if armed is not None and not armed.triggered:
+            self._armed = None
+            armed.succeed()
+        else:
+            self._pending = True
+
+    def wait(self) -> Event:
+        """The event the next pass blocks on (pre-fired when latched)."""
+        if self._pending:
+            self._pending = False
+            return Event(self.env).succeed()
+        armed = self._armed
+        if armed is None or armed.triggered:
+            armed = self._armed = Event(self.env)
+        return armed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._pending else (
+            "armed" if self._armed is not None and not self._armed.triggered
+            else "idle"
+        )
+        return f"<Wakeup {state} at t={self.env.now:.3f}>"
 
 
 class _Condition(Event):
@@ -245,14 +336,17 @@ class AllOf(_Condition):
 class Environment:
     """Owns the simulation clock and the pending-event heap."""
 
-    __slots__ = ("_now", "_heap", "_seq", "event_count")
+    __slots__ = ("_now", "_heap", "_seq", "event_count", "lean")
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, lean: bool = False):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         #: number of events processed so far (profiling / debugging aid)
         self.event_count = 0
+        #: event-lean kernel mode (see module docstring): subscriber-less
+        #: successful settles and process boots skip the heap.
+        self.lean = bool(lean)
 
     # -- clock -----------------------------------------------------------
     @property
@@ -319,12 +413,17 @@ class Environment:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
-        when, _key, event = heapq.heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("event heap corrupted: time went backwards")
+        """Process exactly one event (skipping cancelled tombstones)."""
+        while True:
+            if not self._heap:
+                raise SimulationError("step() on an empty event heap")
+            when, _key, event = heapq.heappop(self._heap)
+            if when < self._now:
+                raise SimulationError(
+                    "event heap corrupted: time went backwards"
+                )
+            if event.callbacks is not None:
+                break
         self._now = when
         self.event_count += 1
         callbacks, event.callbacks = event.callbacks, None
@@ -350,12 +449,15 @@ class Environment:
         loop dominates every benchmark, so the duplication pays.
         ``event_count`` is not incremented per pop: every push bumps
         ``_seq``, so pops = (entries at entry + pushes during the run)
-        − entries left, computed once on exit.
+        − entries left − cancelled tombstones popped, computed once on
+        exit (a cancelled timer was never processed; see
+        :meth:`Timeout.cancel`).
         """
         heap = self._heap
         pop = heapq.heappop
         seq0 = self._seq
         len0 = len(heap)
+        skipped = 0
         try:
             # The ``self._now = when`` store sits inside the callbacks
             # branch: an event with no callbacks runs no code, so the
@@ -372,6 +474,8 @@ class Environment:
                             cb(event)
                         if not event._ok and not event._defused:
                             raise event._value
+                    elif callbacks is None:
+                        skipped += 1  # cancelled tombstone
                     elif not event._ok and not event._defused:
                         self._now = when
                         raise event._value
@@ -392,6 +496,8 @@ class Environment:
                             cb(event)
                         if not event._ok and not event._defused:
                             raise event._value
+                    elif callbacks is None:
+                        skipped += 1  # cancelled tombstone
                     elif not event._ok and not event._defused:
                         self._now = when
                         raise event._value
@@ -419,10 +525,12 @@ class Environment:
                         cb(event)
                     if not event._ok and not event._defused:
                         raise event._value
+                elif callbacks is None:
+                    skipped += 1  # cancelled tombstone
                 elif not event._ok and not event._defused:
                     self._now = when
                     raise event._value
             self._now = horizon
             return None
         finally:
-            self.event_count += len0 + (self._seq - seq0) - len(heap)
+            self.event_count += len0 + (self._seq - seq0) - len(heap) - skipped

@@ -40,6 +40,18 @@ class Process(Event):
         self._target: Event | None = None
         self._interrupted_away_from: Event | None = None
         self._name = name
+        if env.lean:
+            # Lean kernel: run the body to its first yield right now,
+            # skipping the boot event entirely.  The pre-settled stand-in
+            # below never touches the heap.
+            boot = Event.__new__(Event)
+            boot.env = env
+            boot.callbacks = None
+            boot._value = None
+            boot._ok = True
+            boot._defused = False
+            self._resume(boot)
+            return
         # Kick off at the current instant, after already-queued events.
         # The boot event is pre-settled by hand (the succeed/add_callback
         # dance costs two extra frames per spawned process).
@@ -114,6 +126,11 @@ class Process(Event):
             # already be settled (guarded by the PENDING check above).
             self._value = stop.value
             env = self.env
+            if env.lean and not self.callbacks:
+                # Lean kernel: nobody joined this process; settle in
+                # place (late joiners use add_callback's processed path).
+                self.callbacks = None
+                return
             env._seq += 1
             heappush(env._heap, (env._now, _NORMAL_BASE + env._seq, self))
             return

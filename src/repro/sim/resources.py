@@ -71,8 +71,15 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._queue)
 
-    def request(self, priority: int = 0) -> Request:
-        """Claim a slot; the returned event fires when granted."""
+    def request(self, priority: int = 0, lazy: bool = False) -> Request:
+        """Claim a slot; the returned event fires when granted.
+
+        ``lazy`` (lean kernel only): an *uncontended* grant is marked
+        processed in place instead of scheduling a wake-up — for callers
+        that check ``req.processed`` right away and skip their yield
+        when the slot was free.  Late subscribers still work through
+        ``add_callback``'s processed branch.
+        """
         req = Request(self, priority)
         users = self._users
         if not self._queue and len(users) < self._capacity:
@@ -82,6 +89,9 @@ class Resource:
             users.add(req)
             req._value = req
             env = req.env
+            if lazy and env.lean:
+                req.callbacks = None
+                return req
             env._seq += 1
             heappush(env._heap, (env._now, _NORMAL_BASE + env._seq, req))
         else:

@@ -146,6 +146,7 @@ class BackgroundLoad:
                     runtime_s=runtime if runtime > 1.0 else 1.0,
                     owner="/VO=local/CN=background",
                     priority=priority,
+                    detached=True,
                 )
             except SiteUnavailableError:
                 continue
@@ -169,6 +170,7 @@ class BackgroundLoad:
                         runtime_s=max(runtime, 1.0),
                         owner="/VO=local/CN=surge",
                         priority=self.priority,
+                        detached=True,
                     )
                 except SiteUnavailableError:
                     break

@@ -165,15 +165,23 @@ class LocalScheduler:
         return self._cpus.capacity == 0
 
     # -- job control ------------------------------------------------------------------
-    def submit(self, job: SiteJob) -> SiteJob:
-        """Enqueue a job; returns the same object for chaining."""
+    def submit(self, job: SiteJob, detached: bool = False) -> SiteJob:
+        """Enqueue a job; returns the same object for chaining.
+
+        ``detached`` marks a submission nobody watches synchronously
+        (background load): on a lean kernel an uncontended CPU grant
+        then starts the job inline at the submit instant, skipping the
+        grant wake-up event.  Watched jobs (Condor-G) always take the
+        scheduled path so status callbacks registered right after
+        ``submit`` returns cannot miss the RUNNING transition.
+        """
         if job.job_id in self._jobs:
             raise ValueError(f"duplicate local job id {job.job_id!r}")
         if job.status is not SiteJobStatus.PENDING:
             raise ValueError(f"job {job.job_id!r} was already submitted")
         self._jobs[job.job_id] = job
         job.submitted_at = self.env.now
-        req = self._cpus.request(priority=job.priority)
+        req = self._cpus.request(priority=job.priority, lazy=detached)
         self._pending[job.job_id] = req
         self._procs[job.job_id] = self.env.process(self._run(job, req))
         return job
@@ -226,14 +234,19 @@ class LocalScheduler:
         return True
 
     def _run(self, job: SiteJob, req: Request):
-        try:
-            yield req
-        except Interrupt:
-            # Killed/held while pending; _terminate set the status.
-            self._procs.pop(job.job_id, None)
-            return
-        finally:
+        if req.processed:
+            # Lean kernel, detached submit: the uncontended slot was
+            # granted in place — start without a wake-up round-trip.
             self._pending.pop(job.job_id, None)
+        else:
+            try:
+                yield req
+            except Interrupt:
+                # Killed/held while pending; _terminate set the status.
+                self._procs.pop(job.job_id, None)
+                return
+            finally:
+                self._pending.pop(job.job_id, None)
 
         job.started_at = self.env.now
         job._set_status(SiteJobStatus.RUNNING)

@@ -182,12 +182,15 @@ class GridSite:
         runtime_s: float,
         owner: str = "anonymous",
         priority: Optional[int] = None,
+        detached: bool = False,
     ) -> SiteJob:
         """Submit a job to this site's batch system.
 
         Raises :class:`SiteUnavailableError` when the site is DOWN — the
         Globus gatekeeper does not answer.  BLACKHOLE sites accept the
-        job silently, which is precisely their danger.
+        job silently, which is precisely their danger.  ``detached``
+        marks watcher-less submissions (background load); see
+        :meth:`LocalScheduler.submit`.
         """
         if self._state is SiteState.DOWN:
             raise SiteUnavailableError(f"site {self.name} is down")
@@ -195,7 +198,7 @@ class GridSite:
         job = SiteJob(
             job_id=job_id, owner=owner, runtime_s=runtime_s, priority=prio
         )
-        return self.scheduler.submit(job)
+        return self.scheduler.submit(job, detached=detached)
 
     def kill(self, job_id: str) -> bool:
         """Remote cancellation (what the SPHINX client sends on timeout)."""

@@ -188,12 +188,27 @@ def test_without_feedback_unreliable_sites_stay_in_pool():
     assert "s0" in sites
 
 
-def test_stage_in_cancel_does_not_poison_feedback():
+def test_stage_in_cancel_with_missing_source_does_not_poison_feedback():
+    # A missing *source* replica is not the execution site's fault.
+    st = Stack()
+    st.submit(chain_dag())
+    st.server.tick()
+    st.server._rpc_report_status("d0.a", "cancelled", "s0", reason="stage-in",
+                                 missing=["lost.lfn"])
+    assert st.server.feedback.cancelled("s0") == 0
+    assert st.server.stage_in_failures == 1
+    assert st.server.resubmission_count == 1
+
+
+def test_stage_in_cancel_at_destination_penalizes_site_in_push_mode():
+    # All sources had live replicas, so the transfer failed at the
+    # destination: push mode must penalize the site or the planner
+    # hot-loops plan -> stage-in -> cancel against a dead site.
     st = Stack()
     st.submit(chain_dag())
     st.server.tick()
     st.server._rpc_report_status("d0.a", "cancelled", "s0", reason="stage-in")
-    assert st.server.feedback.cancelled("s0") == 0
+    assert st.server.feedback.cancelled("s0") == 1
     assert st.server.stage_in_failures == 1
     assert st.server.resubmission_count == 1
 

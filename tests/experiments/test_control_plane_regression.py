@@ -1,0 +1,126 @@
+"""Golden regression tests for the control-plane modes (fig2 scenario).
+
+Two guarantees this PR's event-driven control plane makes:
+
+1. **Poll mode is frozen.**  The legacy fixed-period mode must produce
+   bit-identical headline metrics to its pre-PR values — same event
+   count, same completion times, same resubmission/timeout tallies,
+   same per-site job distribution.  The golden values below were
+   captured from the pre-PR tree; any drift means a change leaked into
+   the legacy path.
+
+2. **Push does the same work, no worse.**  Push-mode planning happens
+   at the causing instant instead of the next poll boundary, so its
+   decision *trajectory* legitimately diverges from poll's at the
+   first replanning point — individual DAGs may finish earlier or
+   later.  The invariants that are well-posed across diverging
+   trajectories: every DAG poll finishes within the horizon, push also
+   finishes; no variant finishes fewer DAGs; and the aggregate DAG
+   completion metric is equal or better.
+
+These run the fig2 scenario at smoke scale (4 DAGs, 6 h horizon,
+seed 7) so the whole module stays in tier-1 time budgets.
+"""
+
+import pytest
+
+from repro.experiments import fig2_feedback
+
+N_DAGS = 4
+SEED = 7
+HORIZON_S = 6 * 3600.0
+
+#: Pre-PR poll-mode headline metrics for the configuration above.
+GOLDEN_POLL_EVENT_COUNT = 253343
+GOLDEN_POLL = {
+    "round-robin+fb": {
+        "finished": (4, 4),
+        "avg_completion_s": 2920.6966683103697,
+        "resubmissions": 7,
+        "timeouts": 5,
+        "jobs_per_site": {
+            "acdc": 3, "citgrid3": 3, "cluster28": 4, "grid3": 4,
+            "ll03": 4, "nest": 2, "spider": 4, "spike": 3,
+            "tier2-01": 3, "tier2b": 2, "ufgrid01": 2,
+            "ufloridapg": 3, "uscmstb": 3,
+        },
+    },
+    "round-robin-nofb": {
+        "finished": (4, 4),
+        "avg_completion_s": 3696.0170584969965,
+        "resubmissions": 10,
+        "timeouts": 9,
+        "jobs_per_site": {
+            "acdc": 3, "citgrid3": 4, "cluster28": 4, "grid3": 4,
+            "ll03": 3, "nest": 2, "spider": 3, "spike": 2,
+            "tier2-01": 3, "tier2b": 3, "ufgrid01": 3,
+            "ufloridapg": 3, "uscmstb": 3,
+        },
+    },
+    "num-cpus+fb": {
+        "finished": (4, 4),
+        "avg_completion_s": 4667.440306386297,
+        "resubmissions": 7,
+        "timeouts": 7,
+        "jobs_per_site": {
+            "acdc": 10, "citgrid3": 13, "cluster28": 4, "grid3": 6,
+            "ll03": 6, "nest": 1,
+        },
+    },
+    "num-cpus-nofb": {
+        "finished": (3, 4),
+        "avg_completion_s": 9429.23414349974,
+        "resubmissions": 17,
+        "timeouts": 17,
+        "jobs_per_site": {
+            "acdc": 10, "citgrid3": 9, "cluster28": 3, "grid3": 5,
+            "ll03": 4, "nest": 1,
+        },
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        mode: fig2_feedback(n_dags=N_DAGS, seed=SEED, horizon_s=HORIZON_S,
+                            control_plane=mode)
+        for mode in ("poll", "push")
+    }
+
+
+def test_poll_mode_headline_metrics_are_bit_identical(results):
+    poll = results["poll"]
+    assert poll.event_count == GOLDEN_POLL_EVENT_COUNT
+    for label, golden in GOLDEN_POLL.items():
+        s = poll[label]
+        assert (s.finished_dags, s.total_dags) == golden["finished"], label
+        assert s.avg_dag_completion_s == golden["avg_completion_s"], label
+        assert s.resubmissions == golden["resubmissions"], label
+        assert s.timeouts == golden["timeouts"], label
+        assert dict(sorted(s.jobs_per_site.items())) == \
+            golden["jobs_per_site"], label
+
+
+def test_push_mode_slashes_event_count(results):
+    assert results["push"].event_count * 3 < results["poll"].event_count
+
+
+def test_push_finishes_every_dag_poll_finishes(results):
+    for label in GOLDEN_POLL:
+        poll_done = set(results["poll"][label].dag_completion_times)
+        push_done = set(results["push"][label].dag_completion_times)
+        assert poll_done <= push_done, (label, poll_done - push_done)
+
+
+def test_push_completion_metrics_equal_or_better(results):
+    for label in GOLDEN_POLL:
+        assert (results["push"][label].finished_dags
+                >= results["poll"][label].finished_dags), label
+    # Aggregate over all variants (individual trajectories diverge;
+    # the scenario-level completion cost must not regress).
+    poll_avg = sum(results["poll"][lb].avg_dag_completion_s
+                   for lb in GOLDEN_POLL) / len(GOLDEN_POLL)
+    push_avg = sum(results["push"][lb].avg_dag_completion_s
+                   for lb in GOLDEN_POLL) / len(GOLDEN_POLL)
+    assert push_avg <= poll_avg
