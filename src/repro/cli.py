@@ -8,13 +8,16 @@ Usage::
     python -m repro fig7
     python -m repro fig8
     python -m repro suite [--workers 4] [--scale 0.25] [--only fig2 ...]
+    python -m repro trace fig2 [--dags 4] [--out traces]
     python -m repro list-algorithms
 
 Each figure command runs the corresponding experiment and prints the
 paper-style table to stdout.  ``suite`` runs every figure plus the
 ablations — fanned over a process pool — and writes BENCH_SUITE.json
 (per-figure wall-clock, kernel event counts, events/second, headline
-metrics); metrics are bit-identical at any worker count.
+metrics); metrics are bit-identical at any worker count.  ``trace``
+runs one figure scenario with full observability on and writes the
+span JSONL, a Perfetto-loadable Chrome trace, and a Markdown summary.
 """
 
 from __future__ import annotations
@@ -37,9 +40,25 @@ from repro.experiments import (
     run_suite,
     suite_payload,
 )
-from repro.experiments.figures import ALGORITHM_LINEUP
+from repro.experiments.figures import (
+    ALGORITHM_LINEUP,
+    fig2_scenario,
+    fig345_scenario,
+    fig6_scenario,
+    fig7_scenario,
+    fig8_scenario,
+)
 
 __all__ = ["main"]
+
+#: scenario builders the ``trace`` subcommand can instrument
+TRACE_SCENARIOS = {
+    "fig2": fig2_scenario,
+    "fig345": fig345_scenario,
+    "fig6": fig6_scenario,
+    "fig7": fig7_scenario,
+    "fig8": fig8_scenario,
+}
 
 
 def _add_common(p: argparse.ArgumentParser, default_dags: int) -> None:
@@ -88,7 +107,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", nargs="*", default=None, metavar="CASE",
         help="run only cases whose name starts with one of these "
              "(e.g. fig2 fig5 ablation)")
+    suite.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="also collect spans per case and write per-case + merged "
+             "trace artifacts into DIR")
     _add_control_plane(suite)
+    trace = sub.add_parser(
+        "trace", help="run one scenario fully instrumented; write "
+                      "span JSONL + Chrome trace + summary")
+    trace.add_argument("scenario", choices=sorted(TRACE_SCENARIOS),
+                       help="which figure scenario to trace")
+    _add_common(trace, 4)
+    trace.add_argument(
+        "--out", default="traces", metavar="DIR",
+        help="output directory (default: traces/)")
+    trace.add_argument(
+        "--telemetry-interval", type=float, default=60.0, metavar="S",
+        help="site telemetry sampling period in sim seconds "
+             "(default: 60)")
     sub.add_parser("list-algorithms", help="show available algorithms")
     return parser
 
@@ -124,7 +160,8 @@ def _run_suite_command(args) -> int:
         if not cases:
             print(f"no suite cases match {args.only}", file=sys.stderr)
             return 2
-    runs = run_suite(cases, workers=args.workers)
+    runs = run_suite(cases, workers=args.workers,
+                     trace_dir=args.trace_dir)
     payload = suite_payload(runs, scale=args.scale, workers=args.workers,
                             control_plane=args.control_plane)
 
@@ -155,6 +192,55 @@ def _run_suite_command(args) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+    if args.trace_dir:
+        print(f"wrote trace artifacts under {args.trace_dir}/")
+    return 0
+
+
+def _run_trace_command(args, horizon: float) -> int:
+    from pathlib import Path
+
+    from repro import obs as obs_mod
+    from repro.experiments.runner import run_scenario
+    from repro.obs.export import (
+        summary_markdown,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+
+    if args.telemetry_interval <= 0:
+        print("repro trace: --telemetry-interval must be > 0",
+              file=sys.stderr)
+        return 2
+    scenario = TRACE_SCENARIOS[args.scenario](
+        args.dags, args.seed, horizon_s=horizon,
+        control_plane=args.control_plane,
+    )
+    obs = obs_mod.Obs(obs_mod.ObsConfig(
+        spans=True, sample_sites=True,
+        telemetry_interval_s=args.telemetry_interval,
+    ))
+    result = run_scenario(scenario, obs=obs)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    spans = obs.tracer.spans
+    write_spans_jsonl(spans, out / f"{scenario.name}.spans.jsonl")
+    write_chrome_trace(spans, out / f"{scenario.name}.trace.json",
+                       metrics=obs.metrics,
+                       clock_end_s=result.elapsed_sim_s)
+    summary = summary_markdown(
+        obs.metrics, spans,
+        title=f"Trace summary: {scenario.name}",
+    )
+    (out / f"{scenario.name}.summary.md").write_text(summary + "\n")
+
+    print(summary)
+    print(f"sim elapsed: {result.elapsed_sim_s:.0f} s, "
+          f"kernel events: {result.event_count}, "
+          f"rpc calls: {result.rpc_count}")
+    for suffix in ("spans.jsonl", "trace.json", "summary.md"):
+        print(f"wrote {out / f'{scenario.name}.{suffix}'}")
     return 0
 
 
@@ -169,6 +255,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "suite":
         return _run_suite_command(args)
+
+    if args.command == "trace":
+        return _run_trace_command(args, horizon)
 
     mode = getattr(args, "control_plane", "push")
     if args.command == "fig2":

@@ -68,6 +68,7 @@ class SphinxClient:
         poll_s: float = 2.0,
         mode: str = "push",
         rng=None,
+        obs=None,
     ):
         if poll_s <= 0:
             raise ValueError("poll period must be > 0")
@@ -91,7 +92,8 @@ class SphinxClient:
         #: deterministic per seed and independent across clients.
         self._rng = rng
         self.tracker = JobTracker(env, condorg,
-                                  eager_terminal=(mode == "push"))
+                                  eager_terminal=(mode == "push"),
+                                  obs=obs)
 
         #: dag_id -> (submitted_at, finished_at or None), measured here
         self.dag_times: dict[str, list[Optional[float]]] = {}

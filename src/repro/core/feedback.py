@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro import obs as obs_mod
 from repro.core.warehouse import Warehouse
 
 __all__ = ["ReliabilityTracker"]
@@ -24,12 +25,14 @@ _COLUMNS = ("site", "completed", "cancelled")
 class ReliabilityTracker:
     """Per-site completed/cancelled tallies + the paper's reliability rule."""
 
-    def __init__(self, warehouse: Warehouse, table_name: str = "site_feedback"):
+    def __init__(self, warehouse: Warehouse, table_name: str = "site_feedback",
+                 obs=None):
         self._table = (
             warehouse.table(table_name)
             if table_name in warehouse
             else warehouse.create_table(table_name, _COLUMNS, key="site")
         )
+        self.obs = obs_mod.get(obs)
 
     # -- report ingestion (from the job tracker) -----------------------------------
     def record_completion(self, site: str) -> None:
@@ -39,6 +42,8 @@ class ReliabilityTracker:
         self._bump(site, "cancelled")
 
     def _bump(self, site: str, column: str) -> None:
+        obs = self.obs
+        was_reliable = self.is_reliable(site) if obs.enabled else True
         row = self._table.get(site)
         if row is None:
             row = {"site": site, "completed": 0, "cancelled": 0}
@@ -46,6 +51,22 @@ class ReliabilityTracker:
             self._table.insert(row)
         else:
             self._table.update(site, **{column: row[column] + 1})
+        if obs.enabled:
+            obs.metrics.counter("feedback.reports", kind=column).inc()
+            now_reliable = self.is_reliable(site)
+            if now_reliable != was_reliable:
+                verdict = "reliable" if now_reliable else "unreliable"
+                obs.metrics.counter("feedback.verdict_flips", site=site).inc()
+                obs.tracer.instant(
+                    f"feedback: {site} {verdict}",
+                    component="feedback", site=site, verdict=verdict,
+                    completed=self.completed(site),
+                    cancelled=self.cancelled(site),
+                )
+                obs.metrics.gauge("feedback.unreliable_sites").set(
+                    sum(1 for r in self._table
+                        if r["cancelled"] > r["completed"])
+                )
 
     # -- queries (what the planner asks) ----------------------------------------------
     def completed(self, site: str) -> int:

@@ -39,6 +39,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
+from repro import obs as obs_mod
 from repro.core.algorithms import SiteView, make_algorithm
 from repro.core.client import client_service_name
 from repro.core.dag_reducer import DagReducer
@@ -117,6 +118,7 @@ class SphinxServer:
         monitoring: MonitoringService,
         rls: ReplicaService,
         warehouse: Optional[Warehouse] = None,
+        obs=None,
     ):
         if not site_catalog:
             raise ValueError("server needs at least one site in the catalog")
@@ -132,9 +134,33 @@ class SphinxServer:
         self.monitoring = monitoring
         self.rls = rls
 
+        #: observability (spans over the FSA + planner metrics); strictly
+        #: passive, defaults to the shared no-op facade.
+        self.obs = obs_mod.get(obs)
+        self._trace = self.obs.tracer.enabled
+        #: dag_id -> open root span; job_id -> open span of the current
+        #: placement attempt (ended by the terminal report).
+        self._dag_spans: dict[str, Any] = {}
+        self._job_spans: dict[str, Any] = {}
+        #: job_id -> sim time it last became plannable (submission for
+        #: roots, last parent completion, or own cancellation) — the
+        #: numerator of the planning-latency histogram.
+        self._ready_since: dict[str, float] = {}
+        m = self.obs.metrics
+        self._m_planning_latency = m.histogram("server.planning_latency_s")
+        self._m_jobs_planned = m.counter("server.jobs_planned",
+                                         server=config.name)
+        self._m_jobs_completed = m.counter("server.jobs_completed",
+                                           server=config.name)
+        self._m_resubmissions = m.counter("server.resubmissions",
+                                          server=config.name)
+        self._m_timeouts = m.counter("server.timeouts", server=config.name)
+        self._m_passes = m.counter("server.control_passes",
+                                   server=config.name)
+
         self.warehouse = warehouse if warehouse is not None else Warehouse()
         self._init_tables()
-        self.feedback = ReliabilityTracker(self.warehouse)
+        self.feedback = ReliabilityTracker(self.warehouse, obs=obs)
         self.estimator = CompletionTimeEstimator(
             self.warehouse, mode=config.estimator_mode
         )
@@ -278,6 +304,21 @@ class SphinxServer:
                 "completion_time_s": None,
             })
         self._dag_cache[dag.dag_id] = dag
+        if self.obs.enabled:
+            # Roots are plannable from the submission instant; successors
+            # get stamped as their last parent completes.
+            for jid in dag.roots:
+                self._ready_since[jid] = self.env.now
+            if self._trace:
+                span = self.obs.tracer.start_span(
+                    f"dag {dag.dag_id}", kind="dag",
+                    component=self.config.name, lane=dag.dag_id,
+                    dag_id=dag.dag_id, user=user, priority=int(priority),
+                    n_jobs=len(dag), algorithm=self.config.algorithm,
+                )
+                self._dag_spans[dag.dag_id] = span
+                self.obs.tracer.add_event(span, "submit",
+                                          client_id=client_id)
         self._wake()
         return "accepted"
 
@@ -301,6 +342,10 @@ class SphinxServer:
                 jobs.update(job_id, state=_JOB_SUBMITTED,
                             last_status="running")
                 self._count_transition(site, planned=-1, running=+1)
+                if self._trace:
+                    span = self._job_spans.get(job_id)
+                    if span is not None:
+                        self.obs.tracer.add_event(span, "running", site=site)
             elif row["state"] == _JOB_SUBMITTED:
                 jobs.update(job_id, last_status="running")
         elif status == "completed":
@@ -317,6 +362,20 @@ class SphinxServer:
             self.feedback.record_completion(site)
             if completion_time_s is not None:
                 self.estimator.record(site, completion_time_s)
+            if self.obs.enabled:
+                self._m_jobs_completed.inc()
+                # Successors become plannable now (the planner pops the
+                # stamp; the last parent's completion wins, which is the
+                # instant the child truly became ready).
+                for child in self._dag(row["dag_id"]).children(job_id):
+                    self._ready_since[child] = self.env.now
+                if self._trace:
+                    span = self._job_spans.pop(job_id, None)
+                    if span is not None:
+                        self.obs.tracer.end_span(
+                            span, "ok",
+                            completion_time_s=completion_time_s,
+                        )
             # A completion may unlock successors: replan this dag.
             self._dirty_dags.add(row["dag_id"])
             self._maybe_finish_dag(row["dag_id"])
@@ -353,6 +412,22 @@ class SphinxServer:
             self.resubmission_count += 1
             if reason == "timeout":
                 self.timeout_count += 1
+            if self.obs.enabled:
+                self._m_resubmissions.inc()
+                self.obs.metrics.counter(
+                    "server.cancellations", server=self.config.name,
+                    reason=reason or "cancelled",
+                ).inc()
+                if reason == "timeout":
+                    self._m_timeouts.inc()
+                self._ready_since[job_id] = self.env.now
+                if self._trace:
+                    span = self._job_spans.pop(job_id, None)
+                    if span is not None:
+                        self.obs.tracer.end_span(
+                            span, "cancelled",
+                            reason=reason or "cancelled",
+                        )
             user = self._dag_user(row["dag_id"])
             dag = self._dag(row["dag_id"])
             self.policy.refund(user, site, dag.job(job_id).requirements)
@@ -487,6 +562,7 @@ class SphinxServer:
 
     def tick(self) -> None:
         """One control-process pass (public for tests and recovery)."""
+        self._m_passes.inc()
         self._reduce_new_dags()
         self._plan_ready_jobs()
         self._flush_outbox()
@@ -507,9 +583,15 @@ class SphinxServer:
             for jid in removable:
                 jobs.update(jid, state=_JOB_REMOVED,
                             finished_at=self.env.now)
+            if self._trace and removable:
+                span = self._dag_spans.get(dag_id)
+                if span is not None:
+                    self.obs.tracer.add_event(span, "reduced",
+                                              removed_jobs=len(removable))
             if len(removable) == len(dag):
                 dags.update(dag_id, state=_DAG_FINISHED,
                             finished_at=self.env.now)
+                self._end_dag_span(dag_id, fully_reduced=True)
                 self._notify_dag_finished(row["client_id"], dag_id)
             else:
                 dags.update(dag_id, state=DagState.REDUCED.value)
@@ -567,17 +649,25 @@ class SphinxServer:
         candidates = list(
             self.policy.feasible_sites(user, job.requirements, candidates)
         )
+        feedback_dropped: list[str] = []
         if self.config.use_feedback:
+            feasible = candidates
             candidates = list(self.feedback.reliable_sites(candidates))
+            if self._trace and len(candidates) != len(feasible):
+                kept = set(candidates)
+                feedback_dropped = [s for s in feasible if s not in kept]
         if not candidates:
+            self._plan_deferred(drow, job.job_id, "no-feasible-site")
             return False  # nothing feasible now; retry next tick
         views = [self._site_view(s) for s in candidates]
         site = self.algorithm.choose_site(job.job_id, views)
         if site is None:
+            self._plan_deferred(drow, job.job_id, "no-site-chosen")
             return False
         try:
             self.policy.charge(user, site, job.requirements)
         except QuotaExceededError:
+            self._plan_deferred(drow, job.job_id, "quota")
             return False  # racing reservations; retry next tick
         jobs = self.warehouse.table("jobs")
         # jrow may be the live row; read attempts before update mutates it.
@@ -591,6 +681,26 @@ class SphinxServer:
             last_status="planned",
         )
         self._count_transition(site, planned=+1)
+        if self.obs.enabled:
+            self._m_jobs_planned.inc()
+            since = self._ready_since.pop(job.job_id, None)
+            self._m_planning_latency.observe(
+                self.env.now
+                - (since if since is not None else drow["received_at"])
+            )
+            if self._trace:
+                span = self.obs.tracer.start_span(
+                    f"job {job.job_id}", kind="job",
+                    parent=self._dag_spans.get(dag.dag_id),
+                    component=self.config.name, lane=dag.dag_id,
+                    job_id=job.job_id, dag_id=dag.dag_id, site=site,
+                    attempt=attempt, algorithm=self.config.algorithm,
+                    candidate_scores={
+                        v.name: v.predicted_completion_s for v in views
+                    },
+                    feedback_dropped=feedback_dropped,
+                )
+                self._job_spans[job.job_id] = span
         self._send(
             drow["client_id"],
             "plan",
@@ -611,6 +721,19 @@ class SphinxServer:
             },
         )
         return True
+
+    def _plan_deferred(self, drow: dict, job_id: str, reason: str) -> None:
+        """Record a planning pass that could not place a ready job."""
+        if not self.obs.enabled:
+            return
+        self.obs.metrics.counter(
+            "server.plan_deferred", server=self.config.name, reason=reason
+        ).inc()
+        if self._trace:
+            span = self._dag_spans.get(drow["dag_id"])
+            if span is not None:
+                self.obs.tracer.add_event(span, "plan-deferred",
+                                          job_id=job_id, reason=reason)
 
     def _site_view(self, site: str) -> SiteView:
         planned, unfinished = self._site_active[site]
@@ -717,7 +840,13 @@ class SphinxServer:
             return
         dags.update(dag_id, state=_DAG_FINISHED,
                     finished_at=self.env.now)
+        self._end_dag_span(dag_id)
         self._notify_dag_finished(drow["client_id"], dag_id)
+
+    def _end_dag_span(self, dag_id: str, fully_reduced: bool = False) -> None:
+        span = self._dag_spans.pop(dag_id, None)
+        if span is not None:
+            self.obs.tracer.end_span(span, "ok", fully_reduced=fully_reduced)
 
     def _notify_dag_finished(self, client_id: str, dag_id: str) -> None:
         self._send(client_id, "dag-finished", {"dag_id": dag_id})

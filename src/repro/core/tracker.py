@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs as obs_mod
 from repro.services.condorg import CondorG, GridJobHandle, GridJobStatus
 from repro.sim.engine import Environment
 
@@ -55,7 +56,7 @@ class JobTracker:
     """Watches Condor-G handles, applies timeouts, collects timings."""
 
     def __init__(self, env: Environment, condorg: CondorG,
-                 eager_terminal: bool = False):
+                 eager_terminal: bool = False, obs=None):
         self.env = env
         self.condorg = condorg
         #: when True, a handle that is already terminal at track() entry
@@ -64,6 +65,13 @@ class JobTracker:
         #: Kept off in poll mode so its event trace stays bit-identical.
         self.eager_terminal = eager_terminal
         self.stats = TrackerStats()
+        self.obs = obs_mod.get(obs)
+        m = self.obs.metrics
+        self._m_completed = m.counter("tracker.completed")
+        self._m_cancelled = m.counter("tracker.cancelled")
+        self._m_timeouts = m.counter("tracker.timeouts")
+        self._m_completion = m.histogram("tracker.completion_time_s")
+        self._m_idle = m.histogram("tracker.idle_time_s")
 
     def track(self, handle: GridJobHandle, timeout_s: float,
               started_at: Optional[float] = None):
@@ -115,16 +123,20 @@ class JobTracker:
         handle.off_status_change(_watch)
         self.condorg.cancel(handle.job_id)
         self.stats.timeouts += 1
+        self._m_timeouts.inc()
         return self._cancelled(handle, reason="timeout")
 
     # -- internals ------------------------------------------------------------
     def _completed(self, handle: GridJobHandle, t0: float) -> TrackingResult:
         self.stats.completed += 1
+        self._m_completed.inc()
+        self._m_completion.observe(self.env.now - t0)
         tally = self.stats.by_site.setdefault(handle.site, [0, 0])
         tally[0] += 1
         self.stats.completion_times.append(self.env.now - t0)
         if handle.idle_time_s is not None:
             self.stats.idle_times.append(handle.idle_time_s)
+            self._m_idle.observe(handle.idle_time_s)
         if handle.execution_time_s is not None:
             self.stats.execution_times.append(handle.execution_time_s)
         return TrackingResult(
@@ -140,6 +152,7 @@ class JobTracker:
     def _cancelled(self, handle: GridJobHandle,
                    reason: str) -> TrackingResult:
         self.stats.cancelled += 1
+        self._m_cancelled.inc()
         tally = self.stats.by_site.setdefault(handle.site, [0, 0])
         tally[1] += 1
         return TrackingResult(

@@ -23,11 +23,14 @@ events/second throughput, and headline metrics.
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro import obs as obs_mod
 from repro.experiments.figures import (
     fig2_scenario,
     fig345_scenario,
@@ -49,6 +52,7 @@ __all__ = [
     "default_suite",
     "run_suite",
     "headline_metrics",
+    "planning_latency_percentiles",
     "suite_payload",
 ]
 
@@ -66,11 +70,14 @@ class SuiteCase:
 
 @dataclass(slots=True)
 class SuiteRun:
-    """One finished case: its result plus the worker-side wall-clock."""
+    """One finished case: its result plus the worker-side wall-clock
+    and the case's metrics-registry snapshot (with raw histogram
+    samples, so suite-level merges keep exact pooled percentiles)."""
 
     name: str
     result: ExperimentResult
     wall_s: float
+    metrics: dict = field(default_factory=dict)
 
 
 def _scaled(paper_n: int, scale: float, minimum: int = 4) -> int:
@@ -145,32 +152,83 @@ def default_suite(scale: float = 1.0, seed: int = 42,
     return tuple(cases)
 
 
-def _run_case(case: SuiteCase) -> SuiteRun:
+def _run_case(case: SuiteCase,
+              trace_dir: Optional[str] = None) -> SuiteRun:
     """Worker entry point: run one case, time it (module-level: pickled
-    by name into the pool workers)."""
+    by name into the pool workers).
+
+    Every case runs under a metrics-only observability facade (strictly
+    passive: ``event_count`` and all scheduling metrics are untouched).
+    With ``trace_dir`` set, spans are collected too and each worker
+    writes its own ``<case>.spans.jsonl`` / ``<case>.trace.json`` pair
+    — span payloads never ride through pickling.
+    """
+    config = obs_mod.ObsConfig(spans=trace_dir is not None)
+    obs = obs_mod.Obs(config)
     t0 = time.perf_counter()
-    result = run_scenario(case.scenario)
-    return SuiteRun(name=case.name, result=result,
-                    wall_s=time.perf_counter() - t0)
+    result = run_scenario(case.scenario, obs=obs)
+    wall_s = time.perf_counter() - t0
+    if trace_dir is not None:
+        from repro.obs.export import write_chrome_trace, write_spans_jsonl
+
+        out = Path(trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        spans = obs.tracer.spans
+        write_spans_jsonl(spans, out / f"{case.name}.spans.jsonl")
+        write_chrome_trace(spans, out / f"{case.name}.trace.json",
+                           metrics=obs.metrics,
+                           clock_end_s=result.elapsed_sim_s)
+    return SuiteRun(name=case.name, result=result, wall_s=wall_s,
+                    metrics=obs.metrics.snapshot(include_samples=True))
 
 
 def run_suite(cases: Iterable[SuiteCase],
-              workers: int = 1) -> list[SuiteRun]:
+              workers: int = 1,
+              trace_dir: Optional[str] = None) -> list[SuiteRun]:
     """Run every case; results come back in case order.
 
     ``workers=1`` runs in-process (no pool, no pickling); ``workers>1``
     fans cases over a :class:`ProcessPoolExecutor`.  Simulation metrics
     are bit-identical either way — only ``wall_s`` differs.
+
+    ``trace_dir`` additionally collects spans per case and writes, on
+    top of each worker's per-case files, a merged ``suite.spans.jsonl``
+    (cases concatenated in case order — deterministic regardless of
+    worker scheduling) and ``suite.metrics.json`` (snapshots folded
+    with :func:`repro.obs.merge_snapshots`, same order).
     """
     cases = list(cases)
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if workers == 1 or len(cases) <= 1:
-        return [_run_case(c) for c in cases]
-    with ProcessPoolExecutor(max_workers=min(workers, len(cases))) as pool:
-        futures = [pool.submit(_run_case, c) for c in cases]
-        # Submission order, not completion order: determinism.
-        return [f.result() for f in futures]
+        runs = [_run_case(c, trace_dir) for c in cases]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(cases))
+        ) as pool:
+            futures = [pool.submit(_run_case, c, trace_dir) for c in cases]
+            # Submission order, not completion order: determinism.
+            runs = [f.result() for f in futures]
+    if trace_dir is not None:
+        _merge_trace_dir(Path(trace_dir), runs)
+    return runs
+
+
+def _merge_trace_dir(out: Path, runs: Sequence[SuiteRun]) -> None:
+    """Fold per-case worker files into suite-level artifacts."""
+    with (out / "suite.spans.jsonl").open("w") as fh:
+        for run in runs:
+            case_file = out / f"{run.name}.spans.jsonl"
+            if case_file.exists():
+                fh.write(case_file.read_text())
+    merged = obs_mod.merge_snapshots(run.metrics for run in runs)
+    # Raw samples served their purpose (exact pooled percentiles);
+    # drop them from the artifact.
+    for hist in merged["histograms"]:
+        hist.pop("samples", None)
+    (out / "suite.metrics.json").write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def _json_safe(value: float) -> Optional[float]:
@@ -187,6 +245,7 @@ def headline_metrics(result: ExperimentResult) -> dict:
         "horizon_reached": result.horizon_reached,
         "elapsed_sim_s": result.elapsed_sim_s,
         "event_count": result.event_count,
+        "rpc_count": result.rpc_count,
         "servers": {
             label: {
                 "finished_dags": s.finished_dags,
@@ -202,16 +261,30 @@ def headline_metrics(result: ExperimentResult) -> dict:
     }
 
 
+def planning_latency_percentiles(
+    snapshot: dict,
+) -> tuple[Optional[float], Optional[float]]:
+    """(p50, p95) of the pooled ``server.planning_latency_s`` histogram
+    in a registry snapshot; (None, None) when absent or empty."""
+    for hist in snapshot.get("histograms", ()):
+        if hist["name"] == "server.planning_latency_s" and not hist["labels"]:
+            return hist.get("p50"), hist.get("p95")
+    return None, None
+
+
 def suite_payload(runs: Sequence[SuiteRun], scale: float,
                   workers: int,
                   control_plane: str = ControlPlaneMode.PUSH) -> dict:
     """The BENCH_SUITE.json document for one suite invocation."""
     figures = {}
     for run in runs:
+        lat_p50, lat_p95 = planning_latency_percentiles(run.metrics)
         figures[run.name] = {
             "wall_s": run.wall_s,
             "events_per_s": (run.result.event_count / run.wall_s
                              if run.wall_s > 0 else None),
+            "planning_latency_p50_s": lat_p50,
+            "planning_latency_p95_s": lat_p95,
             **headline_metrics(run.result),
         }
     return {

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs as obs_mod
 from repro.core.client import SphinxClient
 from repro.core.server import ServerConfig, SphinxServer
 from repro.experiments.scenarios import Scenario, ServerSpec
@@ -96,6 +97,8 @@ class ExperimentResult:
     #: kernel events processed over the whole run — the denominator for
     #: events/second throughput reporting (see BENCH_SUITE.json)
     event_count: int = 0
+    #: RPC round trips dispatched on the bus over the whole run
+    rpc_count: int = 0
     servers: dict[str, ServerResult] = field(default_factory=dict)
 
     def __getitem__(self, label: str) -> ServerResult:
@@ -110,6 +113,7 @@ def _build_server(
     grid: Grid,
     monitoring: MonitoringService,
     rls: ReplicaService,
+    obs=None,
 ) -> SphinxServer:
     config = ServerConfig(
         name=spec.label,
@@ -127,32 +131,57 @@ def _build_server(
     # Servers read the *advertised* catalog — the static information a
     # 2004 scheduler actually had, which may overstate usable capacity.
     return SphinxServer(env, bus, config, grid.advertised_catalog,
-                        monitoring, rls)
+                        monitoring, rls, obs=obs)
 
 
 def run_scenario(scenario: Scenario,
-                 env: Optional[Environment] = None) -> ExperimentResult:
+                 env: Optional[Environment] = None,
+                 obs=None) -> ExperimentResult:
     """Run one scenario to completion (or its horizon).
 
     The event-driven control plane runs on the lean kernel
     (``Environment(lean=True)``): same physics, no bookkeeping events.
     Poll mode keeps the legacy kernel so its traces stay bit-identical
     to the historical baselines.
+
+    ``obs`` is an optional :class:`repro.obs.Obs` facade.  When absent,
+    every layer sees the shared no-op facade and the run is bit-identical
+    to an uninstrumented one (no extra kernel events, no RNG draws).
     """
     if env is None:
         env = Environment(lean=(scenario.control_plane == "push"))
+    obs = obs_mod.get(obs)
+    if obs.enabled:
+        obs.bind(env)
+        if obs.tracer.enabled:
+            # Span mode also tallies processed kernel events by type;
+            # the tallied loop replicates run() exactly, so event_count
+            # (and everything else) is unchanged.
+            env.obs_tally = {}
     rng = RngStreams(scenario.seed)
     grid = make_grid3(env, rng, sites=scenario.sites,
                       background=scenario.background)
     grid.failures.schedule_windows(scenario.resolved_fault_windows())
+    if obs.enabled:
+        for site in grid:
+            site.obs = obs
 
-    bus = RpcBus(env)
+    bus = RpcBus(env, obs=obs)
     rls = ReplicaService(env, grid.site_names)
     gridftp = GridFtpService(env, grid, rls)
     condorg = CondorG(env, grid)
     monitoring = MonitoringService(
         env, grid, update_interval_s=scenario.monitoring_interval_s
     )
+    if obs.enabled and obs.config.sample_sites:
+        # The only obs mode that *does* schedule kernel events: the
+        # omniscient telemetry sampler, opted into explicitly (trace
+        # CLI), never by golden-metric or benchmark paths.
+        from repro.experiments.telemetry import GridTelemetry
+
+        GridTelemetry(env, grid,
+                      sample_interval_s=obs.config.telemetry_interval_s,
+                      metrics=obs.metrics)
 
     vo = VirtualOrganization("repro")
     site_cycle = list(grid.site_names)
@@ -160,7 +189,8 @@ def run_scenario(scenario: Scenario,
     servers: dict[str, SphinxServer] = {}
 
     for idx, spec in enumerate(scenario.servers):
-        server = _build_server(env, bus, scenario, spec, grid, monitoring, rls)
+        server = _build_server(env, bus, scenario, spec, grid, monitoring,
+                               rls, obs=obs)
         user = User(f"user-{spec.label}", vo)
         _configure_policy(server, user, scenario, grid)
         client = SphinxClient(
@@ -171,6 +201,7 @@ def run_scenario(scenario: Scenario,
             # must never perturb workload/grid streams (and is only
             # drawn at all while a server is unreachable).
             rng=rng.stream(f"backoff-{spec.label}"),
+            obs=obs,
         )
         servers[spec.label] = server
         clients[spec.label] = client
@@ -201,11 +232,21 @@ def run_scenario(scenario: Scenario,
     ))
     all_done = all(ev.triggered for ev in done_events)
 
+    if obs.enabled:
+        if env.obs_tally is not None:
+            for etype, n in sorted(env.obs_tally.items()):
+                obs.metrics.counter("kernel.events", type=etype).inc(n)
+        obs.metrics.gauge("run.elapsed_sim_s").set(
+            env.now if all_done else scenario.horizon_s
+        )
+        obs.tracer.close()
+
     result = ExperimentResult(
         scenario_name=scenario.name,
         horizon_reached=not all_done,
         elapsed_sim_s=env.now if all_done else scenario.horizon_s,
         event_count=env.event_count,
+        rpc_count=bus.call_count,
     )
     for spec in scenario.servers:
         server = servers[spec.label]

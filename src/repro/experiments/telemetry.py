@@ -6,6 +6,12 @@ used for debugging scheduler dynamics and for the site-load figures.
 Kept separate from :mod:`repro.services.monitoring` on purpose: this is
 the *experimenter's* omniscient probe, not the in-band monitoring
 system the schedulers see.
+
+When handed a :class:`repro.obs.metrics.MetricsRegistry`, every sample
+is mirrored into registry :class:`~repro.obs.metrics.Series`
+instruments (``site.queue_depth{site=}`` etc.), so site timelines share
+the observability export path (Chrome-trace counter tracks, snapshot
+JSON) while :class:`SiteSeries` keeps serving the figure code.
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ class GridTelemetry:
     """Samples every site of a grid on a period."""
 
     def __init__(self, env: Environment, grid: Grid,
-                 sample_interval_s: float = 60.0):
+                 sample_interval_s: float = 60.0, metrics=None):
         if sample_interval_s <= 0:
             raise ValueError("sample interval must be > 0")
         self.env = env
@@ -59,20 +65,39 @@ class GridTelemetry:
         self._rows: dict[str, list[tuple[int, int, float, bool]]] = {
             s.name: [] for s in grid
         }
+        #: optional obs registry mirror: site -> (queue, running, util)
+        #: Series instruments, pre-resolved so sampling stays cheap.
+        self._series = None
+        if metrics is not None:
+            self._series = {
+                s.name: (
+                    metrics.series("site.queue_depth", site=s.name),
+                    metrics.series("site.running", site=s.name),
+                    metrics.series("site.utilization", site=s.name),
+                )
+                for s in grid
+            }
         env.process(self._sampler())
 
     def _sampler(self):
         from repro.simgrid.site import SiteState
 
         while True:
-            self._times.append(self.env.now)
+            now = self.env.now
+            self._times.append(now)
             for site in self.grid:
-                self._rows[site.name].append((
+                sample = (
                     site.queued_jobs,
                     site.running_jobs,
                     site.scheduler.utilization,
                     site.state is not SiteState.DOWN,
-                ))
+                )
+                self._rows[site.name].append(sample)
+                if self._series is not None:
+                    queued, running, util = self._series[site.name]
+                    queued.record(now, sample[0])
+                    running.record(now, sample[1])
+                    util.record(now, sample[2])
             yield self.env.timeout(self.sample_interval_s)
 
     # -- extraction ---------------------------------------------------------------

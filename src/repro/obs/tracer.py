@@ -1,0 +1,174 @@
+"""Causally-linked span tracing in simulation time.
+
+A :class:`Span` records one interval of the scheduling automaton — a
+DAG's lifetime, one job placement attempt, a control pass — stamped in
+*sim* seconds and linked to its parent, so a job span always leads back
+to its DAG root span.  The tracer is strictly passive: it never touches
+the event heap, never draws randomness, and never advances the clock,
+so enabling it cannot perturb a run (kernel ``event_count`` included).
+
+:class:`NullTracer` is the zero-overhead stand-in wired in by default:
+every method is a no-op returning the shared :data:`NULL_SPAN`, so
+instrumentation sites cost one attribute load and one call when tracing
+is off, and exactly zero kernel events in either case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_SPAN", "NULL_TRACER"]
+
+
+class Span:
+    """One traced interval (or instant) in sim time."""
+
+    __slots__ = ("span_id", "trace_id", "parent_id", "name", "kind",
+                 "start", "end", "status", "attrs", "events")
+
+    def __init__(self, span_id: str, trace_id: str, parent_id: Optional[str],
+                 name: str, kind: str, start: float,
+                 attrs: Optional[dict] = None):
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.end: Optional[float] = None
+        self.status: Optional[str] = None
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+        #: point events inside the span: (sim_time, name, attrs)
+        self.events: list[tuple[float, str, dict]] = []
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (one JSONL line per span)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start,
+            "end_s": self.end,
+            "status": self.status,
+            "attrs": self.attrs,
+            "events": [
+                {"t_s": t, "name": n, "attrs": a} for t, n, a in self.events
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else self.status
+        return f"<Span {self.name!r} [{state}] id={self.span_id}>"
+
+
+class Tracer:
+    """Collects spans against a simulation clock.
+
+    The clock is late-bound via :meth:`bind` because experiment drivers
+    construct the tracer before the :class:`~repro.sim.engine.
+    Environment` exists.
+    """
+
+    enabled = True
+
+    def __init__(self, env=None):
+        self._env = env
+        self._ids = itertools.count(1)
+        self._spans: list[Span] = []
+
+    def bind(self, env) -> None:
+        """Attach the simulation clock the spans are stamped with."""
+        self._env = env
+
+    @property
+    def now(self) -> float:
+        if self._env is None:
+            raise RuntimeError("tracer is not bound to an environment")
+        return self._env.now
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self._spans)
+
+    # -- recording ---------------------------------------------------------
+    def start_span(self, name: str, *, parent: Optional[Span] = None,
+                   kind: str = "span", **attrs: Any) -> Span:
+        """Open a span; a parentless span roots a new trace."""
+        span_id = f"s{next(self._ids):06d}"
+        if parent is not None and parent is not NULL_SPAN:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = span_id, None
+        span = Span(span_id, trace_id, parent_id, name, kind, self.now,
+                    attrs=attrs)
+        self._spans.append(span)
+        return span
+
+    def end_span(self, span: Span, status: str = "ok", **attrs: Any) -> None:
+        """Close a span; ending an already-closed span is an error."""
+        if span is NULL_SPAN:
+            return
+        if span.end is not None:
+            raise RuntimeError(f"span {span.span_id} already ended")
+        span.end = self.now
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+
+    def add_event(self, span: Span, name: str, **attrs: Any) -> None:
+        """Record a point event inside ``span`` at the current instant."""
+        if span is not NULL_SPAN:
+            span.events.append((self.now, name, attrs))
+
+    def instant(self, name: str, **attrs: Any) -> Span:
+        """A zero-length root span marking a global moment (e.g. a site
+        state flip, a feedback verdict change)."""
+        span = self.start_span(name, kind="instant", **attrs)
+        span.end = span.start
+        span.status = "ok"
+        return span
+
+    def close(self, status: str = "unfinished") -> None:
+        """End every still-open span at the current instant (run end)."""
+        for span in self._spans:
+            if span.end is None:
+                span.end = self.now
+                span.status = status
+
+
+class NullTracer:
+    """The disabled tracer: free to call, records nothing."""
+
+    enabled = False
+    spans: tuple[Span, ...] = ()
+
+    def bind(self, env) -> None:
+        pass
+
+    def start_span(self, name, *, parent=None, kind="span", **attrs):
+        return NULL_SPAN
+
+    def end_span(self, span, status="ok", **attrs):
+        pass
+
+    def add_event(self, span, name, **attrs):
+        pass
+
+    def instant(self, name, **attrs):
+        return NULL_SPAN
+
+    def close(self, status="unfinished"):
+        pass
+
+
+#: Shared do-nothing span handed out by :class:`NullTracer`.
+NULL_SPAN = Span("", "", None, "", "null", 0.0)
+#: Shared disabled tracer (stateless; safe to share everywhere).
+NULL_TRACER = NullTracer()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional
 
+from repro import obs as obs_mod
 from repro.sim.engine import Environment, Event
 
 __all__ = ["RpcBus", "RpcFault"]
@@ -79,7 +80,8 @@ class _Service:
 class RpcBus:
     """Registry + dispatcher for in-simulation RPC services."""
 
-    def __init__(self, env: Environment, latency_s: float = 0.05):
+    def __init__(self, env: Environment, latency_s: float = 0.05,
+                 obs=None):
         if latency_s < 0:
             raise ValueError("latency must be >= 0")
         self.env = env
@@ -90,6 +92,11 @@ class RpcBus:
         self._register_waiters: dict[str, list[Event]] = {}
         #: total calls dispatched (for experiment accounting)
         self.call_count = 0
+        #: observability (RPC round trips by method, fault counts);
+        #: strictly passive — see :mod:`repro.obs`.
+        self.obs = obs_mod.get(obs)
+        self._m_calls = self.obs.metrics.counter("rpc.calls")
+        self._m_faults = self.obs.metrics.counter("rpc.faults")
 
     # -- registration -----------------------------------------------------------
     def register(
@@ -166,6 +173,10 @@ class RpcBus:
         ``+2*latency``, which no caller can distinguish remotely.
         """
         self.call_count += 1
+        obs = self.obs
+        if obs.enabled:
+            self._m_calls.inc()
+            obs.metrics.counter("rpc.calls_by_method", method=method).inc()
         lean = self.env.lean
         result = self.env.event()
 
@@ -186,6 +197,7 @@ class RpcBus:
                 value = handler(*args, **kwargs)
                 _check_serializable(value, "result")
             except RpcFault as fault:
+                self._m_faults.inc()
                 if lean:
                     result.fail(fault)
                     result.defuse()
@@ -193,6 +205,7 @@ class RpcBus:
                     self._deliver(result, fault)
                 return
             except Exception as exc:  # handler bug -> remote fault
+                self._m_faults.inc()
                 fault = RpcFault(f"{service}.{method} raised: {exc}", exc)
                 if lean:
                     result.fail(fault)

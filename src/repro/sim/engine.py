@@ -336,7 +336,7 @@ class AllOf(_Condition):
 class Environment:
     """Owns the simulation clock and the pending-event heap."""
 
-    __slots__ = ("_now", "_heap", "_seq", "event_count", "lean")
+    __slots__ = ("_now", "_heap", "_seq", "event_count", "lean", "obs_tally")
 
     def __init__(self, initial_time: float = 0.0, lean: bool = False):
         self._now = float(initial_time)
@@ -347,6 +347,11 @@ class Environment:
         #: event-lean kernel mode (see module docstring): subscriber-less
         #: successful settles and process boots skip the heap.
         self.lean = bool(lean)
+        #: observability hook: set to a dict (event type name -> count)
+        #: to tally every processed event by type.  ``run`` then takes a
+        #: non-inlined loop — same semantics, same ``event_count``, just
+        #: slower — so the default fast paths stay untouched.
+        self.obs_tally: Optional[dict[str, int]] = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -453,6 +458,8 @@ class Environment:
         exit (a cancelled timer was never processed; see
         :meth:`Timeout.cancel`).
         """
+        if self.obs_tally is not None:
+            return self._run_tallied(until)
         heap = self._heap
         pop = heapq.heappop
         seq0 = self._seq
@@ -531,6 +538,71 @@ class Environment:
                     self._now = when
                     raise event._value
             self._now = horizon
+            return None
+        finally:
+            self.event_count += len0 + (self._seq - seq0) - len(heap) - skipped
+
+    def _run_tallied(self, until: Optional[float | Event] = None) -> Any:
+        """The :meth:`run` semantics with a per-type event tally.
+
+        Only entered when :attr:`obs_tally` is set (trace mode).  One
+        generic loop replaces the three inlined fast paths; every
+        processed (non-tombstone) event bumps ``obs_tally[type name]``,
+        mirroring exactly what ``event_count`` counts, so the tally's
+        sum equals the events processed by this call.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        tally = self.obs_tally
+        seq0 = self._seq
+        len0 = len(heap)
+        skipped = 0
+
+        sentinel: Optional[Event] = None
+        horizon: Optional[float] = None
+        finished: list[Event] = []
+        if isinstance(until, Event):
+            sentinel = until
+            sentinel.add_callback(finished.append)
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"cannot run until {horizon} < now {self._now}"
+                )
+        try:
+            when = self._now
+            while heap:
+                if finished:
+                    break
+                if horizon is not None and heap[0][0] > horizon:
+                    break
+                when, _key, event = pop(heap)
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is None:
+                    skipped += 1  # cancelled tombstone
+                    continue
+                name = type(event).__name__
+                tally[name] = tally.get(name, 0) + 1
+                if callbacks:
+                    self._now = when
+                    for cb in callbacks:
+                        cb(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                elif not event._ok and not event._defused:
+                    self._now = when
+                    raise event._value
+            self._now = when if horizon is None else horizon
+            if sentinel is not None:
+                if not finished:
+                    raise SimulationError(
+                        "run(until=event) exhausted the event heap before "
+                        "the target event fired"
+                    )
+                if not sentinel.ok:
+                    raise sentinel.value
+                return sentinel.value
             return None
         finally:
             self.event_count += len0 + (self._seq - seq0) - len(heap) - skipped

@@ -22,6 +22,7 @@ import enum
 import math
 from typing import Optional
 
+from repro import obs as _obs
 from repro.sim.engine import Environment
 from repro.sim.rng import RngStreams
 from repro.simgrid.local_scheduler import LocalScheduler, SiteJob, SiteJobStatus
@@ -105,6 +106,11 @@ class GridSite:
         self._proxy_priority: dict[str, int] = {}
         #: state transition history [(time, state)] for analysis
         self.state_history: list[tuple[float, SiteState]] = [(env.now, SiteState.UP)]
+        #: observability hook; the experiment runner swaps in a live
+        #: :class:`repro.obs.Obs` so fault transitions land in the trace.
+        #: (Attribute assignment, not a constructor argument, because
+        #: sites are built deep inside :class:`~repro.simgrid.grid.Grid`.)
+        self.obs = _obs.NULL_OBS
 
     # -- static attributes the paper's algorithms read -----------------------------
     @property
@@ -126,6 +132,15 @@ class GridSite:
             return
         old, self._state = self._state, state
         self.state_history.append((self.env.now, state))
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "site.state_transitions", site=self.name, state=state.value
+            ).inc()
+            self.obs.tracer.instant(
+                f"site {self.name}: {old.value} -> {state.value}",
+                component="grid", lane=self.name,
+                site=self.name, state=state.value,
+            )
         if state is SiteState.DOWN:
             # Loud failure: everything in the batch system dies.
             self.scheduler.kill_all()

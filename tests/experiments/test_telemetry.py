@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.telemetry import GridTelemetry
+from repro.obs import MetricsRegistry
 from repro.sim import Environment
 from repro.sim.rng import RngStreams
 from repro.simgrid import Grid, SiteState
@@ -20,6 +21,9 @@ def test_interval_validation():
     env = Environment()
     with pytest.raises(ValueError):
         GridTelemetry(env, make(env), sample_interval_s=0)
+    with pytest.raises(ValueError):
+        GridTelemetry(env, make(env), sample_interval_s=-5.0,
+                      metrics=MetricsRegistry())
 
 
 def test_samples_on_period():
@@ -73,6 +77,60 @@ def test_empty_series():
     assert s.mean_utilization == 0.0
     assert s.peak_queue == 0
     assert s.availability == 1.0
+
+
+def test_zero_sample_run_with_registry_stays_empty():
+    env = Environment()
+    metrics = MetricsRegistry()
+    tele = GridTelemetry(env, make(env), sample_interval_s=10.0,
+                         metrics=metrics)
+    # No env.run: zero samples, but the instruments exist and are empty
+    # (a DOWN-from-t0 site or an instant horizon must not crash export).
+    assert tele.sample_count == 0
+    assert len(metrics.series("site.queue_depth", site="s0")) == 0
+    s = tele.series("s0")
+    assert s.availability == 1.0
+
+
+def test_registry_mirror_matches_site_series():
+    env = Environment()
+    grid = make(env, n_cpus=1)
+    metrics = MetricsRegistry()
+    tele = GridTelemetry(env, grid, sample_interval_s=10.0,
+                         metrics=metrics)
+    grid.site("s0").submit("a", runtime_s=25.0)
+    grid.site("s0").submit("b", runtime_s=25.0)
+    env.run(until=45.0)
+    s = tele.series("s0")
+    queued = metrics.series("site.queue_depth", site="s0")
+    running = metrics.series("site.running", site="s0")
+    util = metrics.series("site.utilization", site="s0")
+    assert queued.times == list(s.times)
+    assert queued.values == [float(v) for v in s.queued]
+    assert running.values == [float(v) for v in s.running]
+    assert util.values == pytest.approx(list(s.utilization))
+
+
+def test_down_window_is_sampled_into_both_views():
+    env = Environment()
+    grid = make(env)
+    metrics = MetricsRegistry()
+    tele = GridTelemetry(env, grid, sample_interval_s=10.0,
+                         metrics=metrics)
+
+    def fault(env):
+        yield env.timeout(20.0)
+        grid.site("s0").set_state(SiteState.DOWN)
+        yield env.timeout(30.0)
+        grid.site("s0").set_state(SiteState.UP)
+
+    env.process(fault(env))
+    env.run(until=95.0)
+    s = tele.series("s0")
+    down_samples = int((~s.up).sum())
+    assert down_samples == 3  # t = 20, 30, 40
+    # Mirrored samples cover the DOWN window too (same sample count).
+    assert len(metrics.series("site.queue_depth", site="s0")) == len(s.times)
 
 
 def test_summary_covers_all_sites():

@@ -1,0 +1,126 @@
+"""Unit tests for the span/metric exporters."""
+
+import json
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    chrome_trace,
+    spans_to_jsonl,
+    summary_markdown,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.sim import Environment
+
+
+def sample_tracer():
+    env = Environment()
+    tracer = Tracer()
+    tracer.bind(env)
+
+    def proc(env):
+        dag = tracer.start_span("dag d1", kind="dag",
+                                component="server-a", lane="d1")
+        yield env.timeout(1.0)
+        job = tracer.start_span("job j1", parent=dag, kind="job",
+                                component="server-a", lane="d1", site="s0")
+        tracer.add_event(job, "running", site="s0")
+        yield env.timeout(3.0)
+        tracer.end_span(job, "ok")
+        tracer.end_span(dag, "ok")
+        tracer.instant("site s0: up -> down", component="grid", lane="s0")
+        tracer.start_span("hung", component="server-a", lane="d2")
+
+    env.process(proc(env))
+    env.run()
+    return tracer
+
+
+def test_jsonl_round_trips(tmp_path):
+    tracer = sample_tracer()
+    text = spans_to_jsonl(tracer.spans)
+    rows = [json.loads(line) for line in text.splitlines()]
+    assert len(rows) == len(tracer.spans)
+    assert {r["kind"] for r in rows} == {"dag", "job", "instant", "span"}
+    path = tmp_path / "spans.jsonl"
+    write_spans_jsonl(tracer.spans, path)
+    assert path.read_text() == text
+
+
+def test_chrome_trace_structure():
+    tracer = sample_tracer()
+    doc = chrome_trace(tracer.spans, clock_end_s=10.0)
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+
+    complete = [e for e in events if e["ph"] == "X"]
+    names = {e["name"] for e in complete}
+    assert {"dag d1", "job j1", "hung"} <= names
+    job = next(e for e in complete if e["name"] == "job j1")
+    assert job["ts"] == 1.0e6 and job["dur"] == 3.0e6  # sim s -> us
+    dag = next(e for e in complete if e["name"] == "dag d1")
+    assert job["args"]["parent_id"] == dag["args"]["span_id"]
+    assert job["args"]["site"] == "s0"
+
+    # Open spans clamp to the horizon and are flagged.
+    hung = next(e for e in complete if e["name"] == "hung")
+    assert hung["args"]["status"] == "open"
+    assert hung["ts"] + hung["dur"] == 10.0e6
+
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["name"] for e in instants} == {"site s0: up -> down",
+                                            "running"}
+
+    # component -> process, lane -> thread, named via metadata.
+    meta = [e for e in events if e["ph"] == "M"]
+    proc_names = {e["args"]["name"] for e in meta
+                  if e["name"] == "process_name"}
+    assert proc_names == {"server-a", "grid"}
+    thread_names = {e["args"]["name"] for e in meta
+                    if e["name"] == "thread_name"}
+    assert {"d1", "d2", "s0"} <= thread_names
+    assert dag["pid"] != next(
+        e for e in instants if e["name"] == "site s0: up -> down")["pid"]
+
+
+def test_chrome_trace_counter_tracks_from_series():
+    metrics = MetricsRegistry()
+    s = metrics.series("site.queue_depth", site="s0")
+    s.record(0.0, 1)
+    s.record(60.0, 4)
+    metrics.series("empty.series", site="s0")  # skipped: no samples
+    doc = chrome_trace((), metrics=metrics)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert [e["args"]["value"] for e in counters] == [1.0, 4.0]
+    assert all(e["name"] == "site.queue_depth{site=s0}" for e in counters)
+    assert counters[1]["ts"] == 60.0e6
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    tracer = sample_tracer()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tracer.spans, path, clock_end_s=10.0)
+    doc = json.loads(path.read_text())
+    assert isinstance(doc["traceEvents"], list)
+
+
+def test_summary_markdown_digests_metrics_and_spans():
+    metrics = MetricsRegistry()
+    metrics.counter("rpc.calls").inc(7)
+    h = metrics.histogram("server.planning_latency_s")
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    tracer = sample_tracer()
+    text = summary_markdown(metrics, tracer.spans, title="T")
+    assert text.startswith("## T")
+    assert "| rpc.calls | - | 7 |" in text
+    assert "| server.planning_latency_s | - | 3 | 2.000 | 2.000 | 3.000 "\
+        "| 3.000 |" in text
+    assert "### Spans" in text
+    assert "| job | 1 | 0 |" in text
+
+
+def test_summary_markdown_empty_inputs():
+    text = summary_markdown(None, ())
+    assert text.startswith("## Observability summary")
+    assert "Counters" not in text and "Spans" not in text

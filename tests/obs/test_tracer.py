@@ -1,0 +1,134 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+from repro.sim import Environment
+
+
+def bound_tracer(env=None):
+    tracer = Tracer()
+    tracer.bind(env if env is not None else Environment())
+    return tracer
+
+
+def test_unbound_tracer_refuses_to_stamp():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        tracer.start_span("orphan")
+
+
+def test_parentless_span_roots_its_own_trace():
+    tracer = bound_tracer()
+    root = tracer.start_span("dag d1", kind="dag")
+    assert root.parent_id is None
+    assert root.trace_id == root.span_id
+
+
+def test_child_span_inherits_trace_and_links_parent():
+    tracer = bound_tracer()
+    root = tracer.start_span("dag d1", kind="dag")
+    child = tracer.start_span("job j1", parent=root, kind="job")
+    assert child.parent_id == root.span_id
+    assert child.trace_id == root.trace_id
+    assert child.span_id != root.span_id
+
+
+def test_span_timestamps_follow_sim_clock():
+    env = Environment()
+    tracer = bound_tracer(env)
+
+    def proc(env):
+        span = tracer.start_span("work")
+        yield env.timeout(5.0)
+        tracer.end_span(span, "ok", extra=1)
+
+    env.process(proc(env))
+    env.run()
+    (span,) = tracer.spans
+    assert (span.start, span.end) == (0.0, 5.0)
+    assert span.status == "ok"
+    assert span.attrs["extra"] == 1
+    assert not span.open
+
+
+def test_double_end_is_an_error():
+    tracer = bound_tracer()
+    span = tracer.start_span("once")
+    tracer.end_span(span)
+    with pytest.raises(RuntimeError):
+        tracer.end_span(span)
+
+
+def test_events_are_stamped_inside_the_span():
+    env = Environment()
+    tracer = bound_tracer(env)
+
+    def proc(env):
+        span = tracer.start_span("work")
+        yield env.timeout(2.0)
+        tracer.add_event(span, "checkpoint", n=3)
+        yield env.timeout(2.0)
+        tracer.end_span(span)
+
+    env.process(proc(env))
+    env.run()
+    (span,) = tracer.spans
+    assert span.events == [(2.0, "checkpoint", {"n": 3})]
+
+
+def test_instant_is_a_closed_zero_length_root():
+    tracer = bound_tracer()
+    span = tracer.instant("site x down", site="x")
+    assert span.kind == "instant"
+    assert span.start == span.end
+    assert span.status == "ok"
+    assert span.parent_id is None
+
+
+def test_close_ends_open_spans_only():
+    env = Environment()
+    tracer = bound_tracer(env)
+    done = tracer.start_span("done")
+    tracer.end_span(done, "ok")
+    open_span = tracer.start_span("hung")
+    env.run(until=30.0)
+    tracer.close()
+    assert done.status == "ok"
+    assert open_span.status == "unfinished"
+    assert open_span.end == 30.0
+
+
+def test_to_dict_is_json_shaped():
+    tracer = bound_tracer()
+    root = tracer.start_span("dag", kind="dag", user="u1")
+    tracer.add_event(root, "submit")
+    tracer.end_span(root)
+    d = root.to_dict()
+    assert d["span_id"] == root.span_id
+    assert d["trace_id"] == root.trace_id
+    assert d["parent_id"] is None
+    assert d["attrs"] == {"user": "u1"}
+    assert d["events"] == [{"t_s": 0.0, "name": "submit", "attrs": {}}]
+
+
+def test_null_tracer_is_free_and_stateless():
+    assert not NULL_TRACER.enabled
+    span = NULL_TRACER.start_span("x", parent=NULL_SPAN)
+    assert span is NULL_SPAN
+    NULL_TRACER.end_span(span)
+    NULL_TRACER.add_event(span, "e")
+    assert NULL_TRACER.instant("i") is NULL_SPAN
+    NULL_TRACER.close()
+    assert NULL_TRACER.spans == ()
+    assert span.events == []  # nothing ever sticks to the shared span
+
+
+def test_parent_null_span_starts_a_new_trace():
+    # Instrumented code may hand the shared NULL_SPAN through as a
+    # parent (e.g. a dag span recorded by a disabled tracer); a real
+    # tracer must not link causally to it.
+    tracer = bound_tracer()
+    span = tracer.start_span("job", parent=NULL_SPAN)
+    assert span.parent_id is None
+    assert span.trace_id == span.span_id
