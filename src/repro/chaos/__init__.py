@@ -1,0 +1,51 @@
+"""Deterministic chaos: fault injection + end-state invariants.
+
+The chaos layer turns the repo's fault-tolerance claims into executable
+drills.  One declarative :class:`ChaosPlan` describes faults on three
+layers — transport (drop/duplicate/delay/partition on the RPC bus),
+component (server/client crash-restart drills), resource (extra site
+outages) — all derived deterministically from ``plan.seed``.  After the
+run, :func:`check_invariants` audits the end state: every DAG terminal,
+no double-applied effects, quota conserved, warehouse referentially
+intact, outbox drained.
+
+Entry point: :func:`run_chaos`, also exposed as ``repro chaos`` on the
+CLI.  This package is imported *only* by chaos entry points — the
+experiment runner duck-types the controller and never imports it, so
+ordinary runs carry zero chaos code.
+"""
+
+from repro.chaos.bus import ChaoticBus
+from repro.chaos.drills import ChaosController
+from repro.chaos.invariants import (
+    InvariantReport,
+    Violation,
+    check_invariants,
+)
+from repro.chaos.plan import (
+    PRESET_PLANS,
+    ChaosPlan,
+    CrashSpec,
+    FaultRule,
+    PartitionWindow,
+    make_plan,
+    random_plan,
+)
+from repro.chaos.run import ChaosRunResult, run_chaos
+
+__all__ = [
+    "ChaosPlan",
+    "FaultRule",
+    "PartitionWindow",
+    "CrashSpec",
+    "PRESET_PLANS",
+    "make_plan",
+    "random_plan",
+    "ChaoticBus",
+    "ChaosController",
+    "Violation",
+    "InvariantReport",
+    "check_invariants",
+    "ChaosRunResult",
+    "run_chaos",
+]

@@ -1,0 +1,215 @@
+"""Component crash-restart drills + the chaos wiring harness.
+
+:class:`ChaosController` is the object the experiment runner hands its
+stack to (see ``run_scenario(chaos=...)``).  It owns three jobs:
+
+* build the (possibly fault-injecting) RPC bus for the run;
+* tune each server's config for survivable chaos — periodic
+  checkpoints when the plan crashes servers, transactional outbox
+  delivery and the presumed-lost requeue window when the transport or
+  a client can eat messages;
+* run the drills: kill servers (checkpoint -> ``shutdown`` ->
+  ``recover_server`` under the same service name) and clients
+  (``crash``/``restart``) at plan-scripted or plan-seeded instants,
+  and layer the plan's resource faults onto the grid's injector.
+
+With an inactive plan the controller is inert: plain bus, untouched
+configs, no processes spawned — a chaos-disabled run is the same run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import obs as obs_mod
+from repro.chaos.bus import ChaoticBus
+from repro.chaos.plan import ChaosPlan, CrashSpec
+from repro.core.recovery import recover_server
+from repro.services.rpc import RpcBus
+from repro.sim.rng import RngStreams
+
+__all__ = ["ChaosController"]
+
+
+class ChaosController:
+    """Executes one :class:`~repro.chaos.plan.ChaosPlan` over a run."""
+
+    def __init__(self, plan: ChaosPlan, obs=None):
+        self.plan = plan
+        self.obs = obs_mod.get(obs)
+        self._rngs = RngStreams(plan.seed)
+        self.env = None
+        self.bus: Optional[RpcBus] = None
+        self.grid = None
+        self.scenario = None
+        #: label -> live server/client; the runner's own dicts, shared
+        #: so a recovery here is visible to result collection there.
+        self.servers: dict = {}
+        self.clients: dict = {}
+        self._reconfigure: dict[str, Callable] = {}
+        #: regenerations tallied by crashed incarnations (a recovered
+        #: server restarts its counter at zero)
+        self._regen_base: dict[str, int] = {}
+        #: [(time, component, label, "crash"|"recover")]
+        self.crash_log: list[tuple[float, str, str, str]] = []
+
+    # -- runner hooks (called by run_scenario) ----------------------------
+    def make_bus(self, env, obs=None) -> RpcBus:
+        """The run's bus: chaotic only if the plan perturbs transport."""
+        self.env = env
+        if self.plan.transport_active:
+            self.bus = ChaoticBus(env, self.plan, obs=obs)
+        else:
+            self.bus = RpcBus(env, obs=obs)
+        return self.bus
+
+    def tune_server_config(self, config, scenario) -> None:
+        """Make one server's config chaos-survivable (no-op plan: no-op)."""
+        if not self.plan.active:
+            return
+        if self.plan.crashes:
+            config.checkpoint_interval_s = self.plan.checkpoint_interval_s
+        needs_redelivery = self.plan.transport_active or any(
+            c.component == "client" for c in self.plan.crashes
+        )
+        if needs_redelivery and config.mode == "push":
+            config.reliable_delivery = True
+        if needs_redelivery or self.plan.crashes:
+            window = self.plan.presume_lost_after_s
+            if window is None:
+                # Past the client's own timeout + a healthy grace for
+                # backoff/retry storms, a silent job is a lost message.
+                window = config.job_timeout_s + 900.0
+            config.presume_lost_after_s = window
+
+    def register(self, label: str, server, client,
+                 reconfigure: Callable) -> None:
+        """One server/client pair + the closure that re-applies its
+        policy grants to a recovered replacement (grants live outside
+        the warehouse, like the paper's policy config file)."""
+        self.servers[label] = server
+        self.clients[label] = client
+        self._reconfigure[label] = reconfigure
+
+    def install(self, env, grid, scenario) -> None:
+        """Arm the drills; called once, before the run starts."""
+        self.env = env
+        self.grid = grid
+        self.scenario = scenario
+        if not self.plan.active:
+            return
+        if (self.plan.transport_active
+                and scenario.control_plane != "push"):
+            raise ValueError(
+                "transport chaos requires the push control plane: the "
+                "poll drain (fetch_messages) deletes on read, so a "
+                "dropped reply would lose messages with no redelivery "
+                "path"
+            )
+        if self.plan.site_windows:
+            grid.failures.schedule_windows(self.plan.site_windows)
+        if self.plan.site_mtbf_s is not None:
+            grid.failures.start_stochastic(
+                self._rngs.spawn("site-chaos"),
+                mtbf_s=self.plan.site_mtbf_s,
+                mttr_s=self.plan.site_mttr_s,
+            )
+        for idx, spec in enumerate(self.plan.crashes):
+            env.process(self._crash_drill(spec, idx))
+
+    # -- the drills -------------------------------------------------------
+    def _crash_instant(self, spec: CrashSpec, idx: int) -> float:
+        if spec.at_s is not None:
+            return spec.at_s
+        lo, hi = spec.window
+        return float(self._rngs.stream(f"crash:{idx}").uniform(lo, hi))
+
+    def _labels(self, spec: CrashSpec) -> list[str]:
+        pool = self.servers if spec.component == "server" else self.clients
+        if spec.label is not None:
+            if spec.label not in pool:
+                raise KeyError(
+                    f"chaos plan names unknown {spec.component} "
+                    f"{spec.label!r}"
+                )
+            return [spec.label]
+        return list(pool)
+
+    def _crash_drill(self, spec: CrashSpec, idx: int):
+        at = self._crash_instant(spec, idx)
+        if at > self.env.now:
+            yield self.env.timeout(at - self.env.now)
+        labels = self._labels(spec)
+        if spec.component == "server":
+            for label in labels:
+                server = self.servers[label]
+                server.shutdown()
+                self._regen_base[label] = (
+                    self._regen_base.get(label, 0)
+                    + server.regeneration_count
+                )
+                self.crash_log.append(
+                    (self.env.now, "server", label, "crash")
+                )
+            yield self.env.timeout(spec.down_s)
+            for label in labels:
+                old = self.servers[label]
+                replacement = recover_server(
+                    self.env, self.bus, old.config, old.site_catalog,
+                    old.monitoring, old.rls, old.last_checkpoint,
+                    obs=self.obs if self.obs.enabled else None,
+                )
+                self._reconfigure[label](replacement)
+                self.servers[label] = replacement
+                self.crash_log.append(
+                    (self.env.now, "server", label, "recover")
+                )
+        else:
+            for label in labels:
+                self.clients[label].crash()
+                self.crash_log.append(
+                    (self.env.now, "client", label, "crash")
+                )
+            yield self.env.timeout(spec.down_s)
+            for label in labels:
+                self.clients[label].restart()
+                self.crash_log.append(
+                    (self.env.now, "client", label, "recover")
+                )
+
+    def regen_slack(self) -> dict[str, int]:
+        """label -> regenerations across all incarnations (the tolerance
+        the exactly-once invariant grants for re-derived outputs)."""
+        return {
+            label: self._regen_base.get(label, 0)
+            + server.regeneration_count
+            for label, server in self.servers.items()
+        }
+
+    # -- reporting --------------------------------------------------------
+    def fault_schedule(self) -> dict:
+        """Everything injected, by layer — deterministic per (plan, seed)."""
+        transport = []
+        injected: dict[str, int] = {}
+        if isinstance(self.bus, ChaoticBus):
+            transport = [
+                [round(t, 6), svc, method, kind]
+                for t, svc, method, kind in self.bus.fault_log
+            ]
+            injected = dict(sorted(self.bus.injected.items()))
+        sites = []
+        if self.grid is not None:
+            sites = [
+                [round(t, 6), site, state.value]
+                for t, site, state in self.grid.failures.log
+            ]
+        crashes = [
+            [round(t, 6), component, label, what]
+            for t, component, label, what in self.crash_log
+        ]
+        return {
+            "transport": transport,
+            "transport_counts": injected,
+            "crashes": crashes,
+            "sites": sites,
+        }

@@ -125,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-interval", type=float, default=60.0, metavar="S",
         help="site telemetry sampling period in sim seconds "
              "(default: 60)")
+    chaos = sub.add_parser(
+        "chaos", help="run one scenario under a deterministic fault plan "
+                      "and audit end-state invariants")
+    chaos.add_argument("scenario", choices=sorted(TRACE_SCENARIOS),
+                       help="which figure scenario to torment")
+    _add_common(chaos, 4)
+    chaos.add_argument(
+        "--plan", default="full", metavar="PLAN",
+        help="preset plan name (see repro.chaos.PRESET_PLANS) or "
+             "'random' for a seeded random plan (default: full)")
+    chaos.add_argument(
+        "--plan-seed", type=int, default=None, metavar="N",
+        help="seed for the fault schedule (default: --seed)")
+    chaos.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the full JSON report here")
     sub.add_parser("list-algorithms", help="show available algorithms")
     return parser
 
@@ -244,6 +260,43 @@ def _run_trace_command(args, horizon: float) -> int:
     return 0
 
 
+def _run_chaos_command(args, horizon: float) -> int:
+    import json
+    from pathlib import Path
+
+    # Lazy import: ordinary figure runs never load the chaos layer.
+    from repro.chaos import PRESET_PLANS, make_plan, random_plan, run_chaos
+
+    plan_seed = args.plan_seed if args.plan_seed is not None else args.seed
+    if args.plan == "random":
+        plan = random_plan(plan_seed, horizon_s=horizon)
+    elif args.plan in PRESET_PLANS:
+        plan = make_plan(args.plan, plan_seed)
+    else:
+        print(f"repro chaos: unknown plan {args.plan!r}; presets: "
+              f"{', '.join(sorted(PRESET_PLANS))}, random",
+              file=sys.stderr)
+        return 2
+    scenario = TRACE_SCENARIOS[args.scenario](
+        args.dags, args.seed, horizon_s=horizon,
+        control_plane=args.control_plane,
+    )
+    try:
+        res = run_chaos(scenario, plan)
+    except ValueError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    print(res.format_text())
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(res.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}")
+    return 0 if res.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     horizon = getattr(args, "horizon_hours", 36.0) * 3600.0
@@ -258,6 +311,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "trace":
         return _run_trace_command(args, horizon)
+
+    if args.command == "chaos":
+        return _run_chaos_command(args, horizon)
 
     mode = getattr(args, "control_plane", "push")
     if args.command == "fig2":

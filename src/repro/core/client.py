@@ -36,7 +36,7 @@ from repro.services.condorg import CondorG, GridJobStatus
 from repro.services.gridftp import GridFtpService, TransferError
 from repro.services.rls import ReplicaService
 from repro.services.rpc import RpcBus, RpcFault
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Interrupt
 from repro.simgrid.vo import User
 from repro.workflow.dag import Dag
 
@@ -99,6 +99,17 @@ class SphinxClient:
         self.dag_times: dict[str, list[Optional[float]]] = {}
         self._grid_ids = itertools.count()
         self.submitted_dags = 0
+        #: (job_id, attempt) pairs whose plan is already executing —
+        #: the duplicate guard for at-least-once delivery (a redelivered
+        #: outbox batch or a duplicated ``deliver`` call must not start
+        #: a second execution of the same attempt).
+        self._seen_plans: set[tuple[str, int]] = set()
+        #: live plan-execution processes (pruned lazily); crash() kills
+        #: them so an interrupted client abandons its in-flight work.
+        self._inflight: list = []
+        #: True between crash() and restart(); silences this client's
+        #: grid-job watchers (a dead client reports nothing).
+        self.crashed = False
         #: settles (with the sim time) the moment the last submitted DAG
         #: is reported finished — what the runner waits on, so runs end
         #: at the true completion instant rather than a poll boundary.
@@ -112,18 +123,37 @@ class SphinxClient:
 
     # -- user-facing API --------------------------------------------------------
     def submit_dag(self, dag: Dag):
-        """A generator: sends the DAG to the server, resolves on ack."""
+        """A generator: sends the DAG to the server, resolves on ack.
+
+        At-least-once: retries while the server is unreachable (with the
+        same backoff/reconnect discipline as tracker reports).  A
+        "duplicate dag" fault means an earlier attempt's *reply* was
+        lost — the server already has the DAG, so it counts as an ack.
+        """
         payload = dag_to_payload(dag)
         self.dag_times[dag.dag_id] = [self.env.now, None]
-        ack = yield self.bus.call(
-            self.user.proxy,
-            self.server_service,
-            "submit_dag",
-            self.client_id,
-            self.user.proxy,
-            payload,
-            self.user.priority,
-        )
+        attempt = 0
+        while True:
+            try:
+                ack = yield self.bus.call(
+                    self.user.proxy,
+                    self.server_service,
+                    "submit_dag",
+                    self.client_id,
+                    self.user.proxy,
+                    payload,
+                    self.user.priority,
+                )
+                break
+            except RpcFault as fault:
+                text = str(fault)
+                if "duplicate dag" in text:
+                    ack = "accepted"
+                    break
+                if "unknown service" not in text:
+                    raise
+                yield from self._unreachable_wait(attempt)
+                attempt += 1
         self.submitted_dags += 1
         return ack
 
@@ -148,18 +178,21 @@ class SphinxClient:
 
     # -- message pump -------------------------------------------------------------
     def _poll_loop(self):
-        while True:
-            try:
-                messages = yield self.bus.call(
-                    self.user.proxy,
-                    self.server_service,
-                    "fetch_messages",
-                    self.client_id,
-                )
-            except RpcFault:
-                messages = []  # transient server fault; retry next poll
-            self._dispatch(messages)
-            yield self.env.timeout(self.poll_s)
+        try:
+            while True:
+                try:
+                    messages = yield self.bus.call(
+                        self.user.proxy,
+                        self.server_service,
+                        "fetch_messages",
+                        self.client_id,
+                    )
+                except RpcFault:
+                    messages = []  # transient server fault; retry next poll
+                self._dispatch(messages)
+                yield self.env.timeout(self.poll_s)
+        except Interrupt:
+            return  # crash(): the pump dies with the client
 
     def _rpc_deliver(self, messages: list) -> str:
         """Push mode: the server hands us a drained outbox batch.
@@ -174,19 +207,82 @@ class SphinxClient:
         return "ok"
 
     def _dispatch(self, messages: list) -> None:
-        """Act on one drained batch of server messages."""
+        """Act on one drained batch of server messages.
+
+        Idempotent, because delivery is at-least-once: a plan already
+        executing (same job_id + attempt) is not started twice, and a
+        repeated dag-finished keeps the *first* finish instant.
+        """
         for msg in messages:
             if msg["kind"] == "plan":
-                self.env.process(self._execute_plan(msg["payload"]))
+                payload = msg["payload"]
+                key = (payload["job_id"], payload.get("attempt", 0))
+                if key in self._seen_plans:
+                    continue  # redelivered batch / duplicated call
+                self._seen_plans.add(key)
+                if self._inflight:
+                    self._inflight = [
+                        p for p in self._inflight if p.is_alive
+                    ]
+                self._inflight.append(
+                    self.env.process(self._execute_plan(payload))
+                )
             elif msg["kind"] == "dag-finished":
                 times = self.dag_times.get(msg["payload"]["dag_id"])
-                if times is not None:
+                if times is not None and times[1] is None:
                     times[1] = self.env.now
         if messages and not self.done.triggered and self.all_dags_finished():
             self.done.succeed(self.env.now)
 
+    # -- crash drills ------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate a client crash: leave the bus, abandon all work.
+
+        In-flight plan executions are interrupted mid-generator (their
+        condor jobs keep running at the sites — a dead agent cannot
+        cancel anything) and the duplicate-guard memory is wiped, as a
+        real process death would.  Measurement state (``dag_times``,
+        ``done``) survives on this object: it is the experiment's
+        notebook, not the crashed process's memory.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self.mode == "push":
+            self.bus.unregister_service(client_service_name(self.client_id))
+        elif self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("client-crash")
+        for proc in self._inflight:
+            if proc.is_alive:
+                proc.interrupt("client-crash")
+        self._inflight.clear()
+        self._seen_plans.clear()
+
+    def restart(self) -> None:
+        """Bring a crashed client back under the same identity.
+
+        Push mode re-registers the delivery service (which lets a
+        reliable-delivery server redeliver every kept outbox row); poll
+        mode restarts the fetch pump.  Abandoned attempts are *not*
+        resumed — the server's presumed-lost requeue owns those.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        if self.mode == "push":
+            self.bus.register(client_service_name(self.client_id),
+                              "deliver", self._rpc_deliver)
+        else:
+            self._proc = self.env.process(self._poll_loop())
+
     # -- plan execution --------------------------------------------------------------
     def _execute_plan(self, plan: dict):
+        try:
+            yield from self._run_plan(plan)
+        except Interrupt:
+            return  # crash(): this attempt is abandoned where it stood
+
+    def _run_plan(self, plan: dict):
         job_id = plan["job_id"]
         site = plan["site"]
         started_at = self.env.now
@@ -224,7 +320,7 @@ class SphinxClient:
         handle.on_status_change(
             lambda _h, status: (
                 self._report(job_id, "running", site)
-                if status is GridJobStatus.RUNNING
+                if status is GridJobStatus.RUNNING and not self.crashed
                 else None
             )
         )
@@ -334,18 +430,26 @@ class SphinxClient:
             except RpcFault as fault:
                 if "unknown service" not in str(fault):
                     return None
-                delay = self._retry_delay(attempt)
+                yield from self._unreachable_wait(attempt)
                 attempt += 1
-                if self.mode == "push":
-                    pause = self.env.timeout(delay)
-                    yield self.env.any_of([
-                        self.bus.on_register(self.server_service),
-                        pause,
-                    ])
-                    if self.env.lean and not pause.processed:
-                        pause.cancel()  # reconnect beat the backoff timer
-                else:
-                    yield self.env.timeout(delay)
+
+    def _unreachable_wait(self, attempt: int):
+        """One backoff step while the server is away (shared by report
+        and submission retries).  In push mode the wait also ends the
+        instant the service re-registers; a reconnect waiter whose
+        backoff timer won is withdrawn from the bus so abandoned
+        waiters cannot pile up against a server that never returns."""
+        delay = self._retry_delay(attempt)
+        if self.mode == "push":
+            reconnect = self.bus.on_register(self.server_service)
+            pause = self.env.timeout(delay)
+            yield self.env.any_of([reconnect, pause])
+            if self.env.lean and not pause.processed:
+                pause.cancel()  # reconnect beat the backoff timer
+            if not reconnect.triggered:
+                self.bus.discard_waiter(self.server_service, reconnect)
+        else:
+            yield self.env.timeout(delay)
 
     def _retry_delay(self, attempt: int) -> float:
         """Backoff before retry ``attempt`` (0-based), jittered."""

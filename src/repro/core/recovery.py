@@ -42,12 +42,17 @@ def recover_server(
     monitoring,
     rls,
     checkpoint: Optional[dict],
+    obs=None,
 ) -> SphinxServer:
     """A replacement server resuming from ``checkpoint``.
 
     ``checkpoint`` may be None (crash before the first checkpoint): the
     replacement starts empty, and clients' pending work is lost — the
     same truth a fresh MySQL would tell.
+
+    ``obs`` hands the replacement the same observability facade the
+    crashed instance used, so counters keep accumulating across the
+    restart (observers live outside the failure domain).
     """
     warehouse = Warehouse()
     if checkpoint is not None:
@@ -55,7 +60,8 @@ def recover_server(
         _requeue_in_flight(warehouse)
         _drop_stale_plans(warehouse)
     server = SphinxServer(
-        env, bus, config, site_catalog, monitoring, rls, warehouse=warehouse
+        env, bus, config, site_catalog, monitoring, rls,
+        warehouse=warehouse, obs=obs,
     )
     if checkpoint is not None:
         _refund_requeued(server)

@@ -104,6 +104,17 @@ class ServerConfig:
     #: safety valve: a job cancelled more than this many times fails the
     #: run loudly instead of looping forever.  None = unbounded (paper).
     max_attempts: Optional[int] = None
+    #: transactional push delivery: outbox rows survive until the
+    #: client's ``deliver`` ack and un-acked batches are redelivered
+    #: (chaos runs, where the wire can eat a batch).  Off by default —
+    #: the lossless-transport fast path deletes before sending and
+    #: schedules no ack callbacks, keeping default runs bit-identical.
+    reliable_delivery: bool = False
+    #: presume a PLANNED/SUBMITTED job lost (cancel + replan) after this
+    #: many seconds without a report.  The server-side liveness backstop
+    #: for plans or terminal reports dropped by a faulty transport or a
+    #: crashed client.  None (default) disables the pass entirely.
+    presume_lost_after_s: Optional[float] = None
 
 
 class SphinxServer:
@@ -215,6 +226,8 @@ class SphinxServer:
         #: clients with outbox rows enqueued since the last flush, in
         #: first-dirtied order (dict-as-ordered-set for determinism).
         self._dirty_clients: dict[str, None] = {}
+        #: clients with a reliable-delivery batch awaiting its ack.
+        self._delivery_inflight: set[str] = set()
         if self._push:
             # A restored warehouse may carry undelivered messages (e.g.
             # dag-finished notifications recovery keeps); deliver them
@@ -383,6 +396,12 @@ class SphinxServer:
         elif status == "cancelled":
             if row["state"] in (_JOB_FINISHED, _JOB_CANCELLED):
                 return "duplicate"
+            # The reservation to return is the one at the *planned* site.
+            # A stale cancel from a superseded attempt may name a site the
+            # job has since been replanned away from; refunding there would
+            # corrupt both ledgers.  (row is a live view: read before the
+            # update below nulls the column.)
+            charged_site = row["site"]
             self._release_active(row, site)
             jobs.update(
                 job_id,
@@ -430,7 +449,9 @@ class SphinxServer:
                         )
             user = self._dag_user(row["dag_id"])
             dag = self._dag(row["dag_id"])
-            self.policy.refund(user, site, dag.job(job_id).requirements)
+            self.policy.refund(
+                user, charged_site or site, dag.job(job_id).requirements
+            )
             # Slot released, quota refunded, feedback updated: replan now.
             self._wake()
             if (self.config.max_attempts is not None
@@ -535,16 +556,29 @@ class SphinxServer:
         client-side report is lost and no wakeup ever arrives.
         """
         deadline = next_checkpoint
-        if self._dirty_dags:
+        if self._dirty_dags or (
+            self.config.reliable_delivery and self._dirty_clients
+        ):
+            # Dirty dags retry on quota/feedback drift; kept-dirty
+            # clients (crashed receiver) retry their redelivery.
             retry = self.env.now + self.config.tick_s
             deadline = retry if deadline is None else min(deadline, retry)
-        pending = self._nearest_job_timeout()
-        if pending is not None and (deadline is None or pending < deadline):
-            deadline = pending
+        oldest = self._nearest_planned_at()
+        if oldest is not None:
+            # Grace for plan delivery + staging before the client's
+            # tracker starts its own clock; a late pass is a no-op.
+            pending = oldest + self.config.job_timeout_s + self.config.tick_s
+            if self.config.presume_lost_after_s is not None:
+                pending = min(
+                    pending, oldest + self.config.presume_lost_after_s
+                )
+            if deadline is None or pending < deadline:
+                deadline = pending
         return deadline
 
-    def _nearest_job_timeout(self) -> Optional[float]:
-        """Earliest instant an in-flight job could have timed out."""
+    def _nearest_planned_at(self) -> Optional[float]:
+        """Earliest planning instant among in-flight jobs (timeout and
+        presumed-lost deadlines are both offsets from it)."""
         jobs = self.warehouse.table("jobs")
         nearest = None
         for state in (_JOB_PLANNED, _JOB_SUBMITTED):
@@ -554,16 +588,14 @@ class SphinxServer:
                     continue
                 if nearest is None or planned_at < nearest:
                     nearest = planned_at
-        if nearest is None:
-            return None
-        # Grace for plan delivery + staging before the client's tracker
-        # starts its own clock; a late pass here is a harmless no-op.
-        return nearest + self.config.job_timeout_s + self.config.tick_s
+        return nearest
 
     def tick(self) -> None:
         """One control-process pass (public for tests and recovery)."""
         self._m_passes.inc()
         self._reduce_new_dags()
+        if self.config.presume_lost_after_s is not None:
+            self._requeue_lost_jobs()
         self._plan_ready_jobs()
         self._flush_outbox()
 
@@ -878,6 +910,9 @@ class SphinxServer:
         """
         if not self._dirty_clients:
             return
+        if self.config.reliable_delivery:
+            self._flush_outbox_reliable()
+            return
         outbox = self.warehouse.table("outbox")
         proxy = f"/CN={self.service_name}"
         for client_id in list(self._dirty_clients):
@@ -895,6 +930,110 @@ class SphinxServer:
                      for m in mine],
                 )
         self._dirty_clients.clear()
+
+    def _flush_outbox_reliable(self) -> None:
+        """Transactional push delivery (``config.reliable_delivery``).
+
+        Rows stay in the outbox until the client's ``deliver`` ack
+        lands; a failed or lost batch is redelivered after ``tick_s``
+        and a crashed client keeps its rows until it re-registers.
+        Redelivery makes the channel at-least-once — the client's
+        (job_id, attempt) guard makes it effectively exactly-once.
+        """
+        outbox = self.warehouse.table("outbox")
+        proxy = f"/CN={self.service_name}"
+        keep: dict[str, None] = {}
+        for client_id in list(self._dirty_clients):
+            if client_id in self._delivery_inflight:
+                keep[client_id] = None  # await the pending ack first
+                continue
+            if not self.bus.has_service(client_service_name(client_id)):
+                keep[client_id] = None  # receiver down; retry later
+                continue
+            mine = outbox.select(where={"client_id": client_id}, copy=False)
+            if not mine:
+                continue
+            msg_ids = [m["msg_id"] for m in mine]
+            batch = [
+                {"kind": m["kind"], "payload": m["payload"]} for m in mine
+            ]
+            self._delivery_inflight.add(client_id)
+            ev = self.bus.call(
+                proxy, client_service_name(client_id), "deliver", batch
+            )
+            ev.add_callback(
+                lambda e, c=client_id, ids=msg_ids:
+                    self._delivery_settled(e, c, ids)
+            )
+        self._dirty_clients = keep
+
+    def _delivery_settled(self, ev, client_id: str,
+                          msg_ids: list[str]) -> None:
+        """Ack handler for one reliable-delivery batch."""
+        self._delivery_inflight.discard(client_id)
+        outbox = self.warehouse.table("outbox")
+        if ev.ok:
+            for mid in msg_ids:
+                outbox.delete(mid)
+            if outbox.select(where={"client_id": client_id}, copy=False):
+                # Rows enqueued while the batch flew: flush them next pass.
+                self._dirty_clients[client_id] = None
+                self._wake()
+            return
+        ev.defuse()
+
+        def _retry(_t, c=client_id):
+            self._dirty_clients[c] = None
+            self._wake()
+
+        # Pace the redelivery like a poll tick — an immediate retry
+        # against a partitioned client would spin at one instant.
+        self.env.timeout(self.config.tick_s).add_callback(_retry)
+
+    def _requeue_lost_jobs(self) -> None:
+        """Presumed-lost backstop (``config.presume_lost_after_s``).
+
+        An in-flight job whose plan (or terminal report) the transport
+        ate produces no further signal; after the window expires the
+        server cancels it server-side and replans, exactly like a
+        tracker cancellation but without a feedback penalty — the wire,
+        not the site, dropped the ball.  A straggler completion racing
+        the requeue is absorbed by the duplicate guard.
+        """
+        window = self.config.presume_lost_after_s
+        now = self.env.now
+        jobs = self.warehouse.table("jobs")
+        for state in (_JOB_PLANNED, _JOB_SUBMITTED):
+            for row in jobs.select(where={"state": state}, copy=False):
+                planned_at = row["planned_at"]
+                if planned_at is None or now - planned_at < window:
+                    continue
+                job_id, site = row["job_id"], row["site"]
+                self._release_active(row, site)
+                jobs.update(
+                    job_id,
+                    state=_JOB_CANCELLED,
+                    last_status="presumed-lost",
+                    site=None,
+                )
+                self._dirty_dags.add(row["dag_id"])
+                self.resubmission_count += 1
+                user = self._dag_user(row["dag_id"])
+                dag = self._dag(row["dag_id"])
+                self.policy.refund(user, site, dag.job(job_id).requirements)
+                if self.obs.enabled:
+                    self._m_resubmissions.inc()
+                    self.obs.metrics.counter(
+                        "server.cancellations", server=self.config.name,
+                        reason="presumed-lost",
+                    ).inc()
+                    self._ready_since[job_id] = now
+                    if self._trace:
+                        span = self._job_spans.pop(job_id, None)
+                        if span is not None:
+                            self.obs.tracer.end_span(
+                                span, "cancelled", reason="presumed-lost"
+                            )
 
     def _dag(self, dag_id: str) -> Dag:
         dag = self._dag_cache.get(dag_id)

@@ -114,6 +114,7 @@ def _build_server(
     monitoring: MonitoringService,
     rls: ReplicaService,
     obs=None,
+    chaos=None,
 ) -> SphinxServer:
     config = ServerConfig(
         name=spec.label,
@@ -128,6 +129,11 @@ def _build_server(
         prediction_correction_strength=spec.prediction_correction_strength,
         checkpoint_interval_s=0.0,  # recovery is exercised separately
     )
+    if chaos is not None:
+        # Chaos runs need survivable settings (checkpoints, transactional
+        # delivery, presumed-lost requeue); an inactive plan changes
+        # nothing, keeping chaos-disabled runs bit-identical.
+        chaos.tune_server_config(config, scenario)
     # Servers read the *advertised* catalog — the static information a
     # 2004 scheduler actually had, which may overstate usable capacity.
     return SphinxServer(env, bus, config, grid.advertised_catalog,
@@ -136,7 +142,8 @@ def _build_server(
 
 def run_scenario(scenario: Scenario,
                  env: Optional[Environment] = None,
-                 obs=None) -> ExperimentResult:
+                 obs=None,
+                 chaos=None) -> ExperimentResult:
     """Run one scenario to completion (or its horizon).
 
     The event-driven control plane runs on the lean kernel
@@ -147,6 +154,12 @@ def run_scenario(scenario: Scenario,
     ``obs`` is an optional :class:`repro.obs.Obs` facade.  When absent,
     every layer sees the shared no-op facade and the run is bit-identical
     to an uninstrumented one (no extra kernel events, no RNG draws).
+
+    ``chaos`` is an optional :class:`repro.chaos.ChaosController` (duck-
+    typed — this module never imports ``repro.chaos``).  It supplies the
+    run's bus, tunes server configs for survivability, and arms its
+    fault drills before the run starts.  With a no-op plan the
+    controller is inert and the run is bit-identical to ``chaos=None``.
     """
     if env is None:
         env = Environment(lean=(scenario.control_plane == "push"))
@@ -166,7 +179,10 @@ def run_scenario(scenario: Scenario,
         for site in grid:
             site.obs = obs
 
-    bus = RpcBus(env, obs=obs)
+    if chaos is not None:
+        bus = chaos.make_bus(env, obs=obs)
+    else:
+        bus = RpcBus(env, obs=obs)
     rls = ReplicaService(env, grid.site_names)
     gridftp = GridFtpService(env, grid, rls)
     condorg = CondorG(env, grid)
@@ -190,7 +206,7 @@ def run_scenario(scenario: Scenario,
 
     for idx, spec in enumerate(scenario.servers):
         server = _build_server(env, bus, scenario, spec, grid, monitoring,
-                               rls, obs=obs)
+                               rls, obs=obs, chaos=chaos)
         user = User(f"user-{spec.label}", vo)
         _configure_policy(server, user, scenario, grid)
         client = SphinxClient(
@@ -205,6 +221,15 @@ def run_scenario(scenario: Scenario,
         )
         servers[spec.label] = server
         clients[spec.label] = client
+        if chaos is not None:
+            # Grants live outside the warehouse (like the paper's policy
+            # config file): a recovered server must have them re-applied.
+            chaos.register(
+                spec.label, server, client,
+                reconfigure=lambda srv, user=user: _configure_policy(
+                    srv, user, scenario, grid
+                ),
+            )
 
         # Identical workload structure per server: same seed, own prefix.
         gen = WorkloadGenerator(RngStreams(scenario.seed).stream("workload"))
@@ -226,11 +251,17 @@ def run_scenario(scenario: Scenario,
     # report lands, so the run stops at the true completion time (a
     # polling watchdog would round it up to its next wakeup and bias
     # every censored-DAG measurement by up to the poll period).
+    if chaos is not None:
+        chaos.install(env, grid, scenario)
     done_events = [c.done for c in clients.values()]
     env.run(until=env.any_of(
         [env.all_of(done_events), env.timeout(scenario.horizon_s)]
     ))
     all_done = all(ev.triggered for ev in done_events)
+    if chaos is not None:
+        # Crash drills replace server objects; the controller's dict
+        # tracks the live incarnation of each label.
+        servers = chaos.servers
 
     if obs.enabled:
         if env.obs_tally is not None:

@@ -136,10 +136,39 @@ class RpcBus:
         queued reports retry immediately instead of at the next backoff
         expiry.  Edge-triggered: registrations that happened *before*
         the call do not satisfy it.
+
+        A caller that stops caring (its backoff timer won the race)
+        should hand the event back via :meth:`discard_waiter`;
+        otherwise abandoned waiters would accumulate for the lifetime
+        of the bus.  Arming also prunes any already-settled stragglers
+        as a backstop.
         """
         ev = self.env.event()
-        self._register_waiters.setdefault(service, []).append(ev)
+        waiters = self._register_waiters.setdefault(service, [])
+        if waiters:
+            waiters[:] = [w for w in waiters if not w.triggered]
+        waiters.append(ev)
         return ev
+
+    def discard_waiter(self, service: str, event: Event) -> bool:
+        """Withdraw an unfired :meth:`on_register` waiter.
+
+        Returns True if the event was armed and has been removed.  The
+        cancel path for callers whose wait ended some other way (backoff
+        expiry, shutdown): without it every abandoned waiter would sit
+        in ``_register_waiters`` until the service next re-registers —
+        forever, for a service that never comes back.
+        """
+        waiters = self._register_waiters.get(service)
+        if not waiters:
+            return False
+        try:
+            waiters.remove(event)
+        except ValueError:
+            return False
+        if not waiters:
+            del self._register_waiters[service]
+        return True
 
     def unregister_service(self, service: str) -> bool:
         """Remove a whole service (a server shutting down).

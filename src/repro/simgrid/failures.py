@@ -9,6 +9,13 @@ Two injection styles:
   availability studies and property tests.
 
 Both run as simulation processes and restore sites to UP afterwards.
+
+Restores are *epoch-guarded*: each injection bumps a per-site epoch and
+remembers it; the paired restore only fires if the epoch is unchanged,
+i.e. no other injector has touched the site since.  Without the guard,
+a stochastic outage ending inside a scripted window (or vice versa)
+would restore the site to UP while the other fault was still supposed
+to be in effect — last-injected-fault-wins is the deterministic rule.
 """
 
 from __future__ import annotations
@@ -49,6 +56,27 @@ class FailureInjector:
         self._sites = sites
         #: injected transitions [(time, site, state)] for post-run analysis
         self.log: list[tuple[float, str, SiteState]] = []
+        #: per-site injection epoch; a restore is valid only while the
+        #: epoch still matches the one its own injection minted.
+        self._epoch: dict[str, int] = {}
+
+    def _inject(self, name: str, state: SiteState) -> int:
+        """Apply a fault and mint the epoch token guarding its restore."""
+        self._sites[name].set_state(state)
+        self.log.append((self.env.now, name, state))
+        token = self._epoch.get(name, 0) + 1
+        self._epoch[name] = token
+        return token
+
+    def _restore(self, name: str, token: int) -> None:
+        """Restore ``name`` to UP iff its fault is still the live one."""
+        if self._epoch.get(name) != token:
+            return  # superseded: a newer fault owns the site now
+        site = self._sites[name]
+        if site.state is SiteState.UP:
+            return
+        site.set_state(SiteState.UP)
+        self.log.append((self.env.now, name, SiteState.UP))
 
     # -- scripted faults -------------------------------------------------------
     def schedule_windows(self, windows: Iterable[DowntimeWindow]) -> None:
@@ -73,12 +101,9 @@ class FailureInjector:
     def _apply_window(self, w: DowntimeWindow):
         if w.start_s > self.env.now:
             yield self.env.timeout(w.start_s - self.env.now)
-        site = self._sites[w.site]
-        site.set_state(w.state)
-        self.log.append((self.env.now, w.site, w.state))
+        token = self._inject(w.site, w.state)
         yield self.env.timeout(w.end_s - w.start_s)
-        site.set_state(SiteState.UP)
-        self.log.append((self.env.now, w.site, SiteState.UP))
+        self._restore(w.site, token)
 
     # -- stochastic faults ---------------------------------------------------------
     def start_stochastic(
@@ -115,8 +140,6 @@ class FailureInjector:
             if site.state is not SiteState.UP:
                 continue  # a scripted fault is already in effect
             state = states[int(stream.choice(len(states), p=probs))]
-            site.set_state(state)
-            self.log.append((self.env.now, name, state))
+            token = self._inject(name, state)
             yield self.env.timeout(float(stream.exponential(mttr_s)))
-            site.set_state(SiteState.UP)
-            self.log.append((self.env.now, name, SiteState.UP))
+            self._restore(name, token)

@@ -126,3 +126,78 @@ def test_client_reports_retry_through_downtime():
     st.run(until=2 * 3600.0)
     jobs = holder["server"].warehouse.table("jobs")
     assert jobs.get("r.j0")["state"] == JobState.FINISHED.value
+
+
+def test_crash_before_first_checkpoint_loses_state_honestly():
+    """No checkpoint ever taken: the replacement starts empty mid-
+    scenario.  Accepted work is gone — the failure mode the chaos
+    invariant checker flags as dag-lost — and must not resurrect."""
+    st = FullStack(tick_s=2.0)
+    st.submit(chain(n=2, runtime=300.0))
+    holder = {}
+
+    def crash(env):
+        yield env.timeout(60.0)
+        assert st.server.last_checkpoint is None
+        st.server.shutdown()
+        yield env.timeout(30.0)
+        holder["server"] = recover_server(
+            env, st.bus, st.config, st.catalog, st.monitoring, st.rls,
+            checkpoint=None,
+        )
+        holder["server"].policy.grant_unlimited(st.user.proxy)
+
+    st.env.process(crash(st.env))
+    st.run(until=2 * 3600.0)
+    server2 = holder["server"]
+    assert len(server2.warehouse.table("dags")) == 0
+    assert st.client.finished_dag_count == 0
+    # The client knows about a dag the server forgot.
+    assert "r" in st.client.dag_times
+
+
+def test_two_crashes_in_one_run_still_complete():
+    st = FullStack(tick_s=2.0)
+    st.submit(chain(n=3, runtime=200.0))
+    holder = {"server": st.server}
+
+    def crash_twice(env):
+        for at in (90.0, 500.0):
+            yield env.timeout(at - env.now)
+            server = holder["server"]
+            server.checkpoint()
+            checkpoint = server.last_checkpoint
+            server.shutdown()
+            yield env.timeout(45.0)
+            holder["server"] = recover_server(
+                env, st.bus, st.config, st.catalog, st.monitoring,
+                st.rls, checkpoint,
+            )
+            holder["server"].policy.grant_unlimited(st.user.proxy)
+
+    st.env.process(crash_twice(st.env))
+    st.run(until=4 * 3600.0)
+    server3 = holder["server"]
+    assert server3.warehouse.table("dags").get("r")["state"] == \
+        DagState.FINISHED.value
+    assert st.client.finished_dag_count == 1
+
+
+def test_duplicate_completion_leaves_feedback_exact():
+    """At-least-once reporting must collapse to exactly-once *effects*:
+    one finished job row and one completion tally, even when the
+    pre-crash attempt reports alongside the requeued one."""
+    st = FullStack(tick_s=2.0)
+    st.submit(chain(n=1, runtime=300.0))
+    holder = crash_and_recover(st, at=60.0)
+    st.run(until=2 * 3600.0)
+    server2 = holder["server"]
+    jobs = server2.warehouse.table("jobs")
+    assert jobs.get("r.j0")["state"] == JobState.FINISHED.value
+    completions = sum(
+        c for c, _x in server2.feedback.snapshot().values()
+    )
+    finished = len(jobs.select(
+        predicate=lambda r: r["state"] == JobState.FINISHED.value
+    ))
+    assert completions == finished == 1

@@ -168,3 +168,53 @@ def test_services_listing():
     bus.register("b", "m", lambda: 1)
     bus.register("a", "m", lambda: 1)
     assert bus.services() == ("a", "b")
+
+
+class TestRegisterWaiters:
+    """on_register lifecycle: fire on re-registration, no leaks."""
+
+    def _bus(self):
+        env = Environment()
+        return env, RpcBus(env)
+
+    def test_waiter_fires_on_reregistration(self):
+        env, bus = self._bus()
+        bus.register("svc", "ping", lambda: "pong")
+        bus.unregister_service("svc")
+        ev = bus.on_register("svc")
+        assert not ev.triggered
+        bus.register("svc", "ping", lambda: "pong")
+        assert ev.triggered
+
+    def test_discard_waiter_removes_and_empties_the_table(self):
+        env, bus = self._bus()
+        ev = bus.on_register("ghost")
+        assert bus.discard_waiter("ghost", ev) is True
+        # Removed entirely: no entry left to leak.
+        assert "ghost" not in bus._register_waiters
+        # Idempotent / unknown cases are harmless.
+        assert bus.discard_waiter("ghost", ev) is False
+        assert bus.discard_waiter("other", ev) is False
+
+    def test_abandoned_settled_waiters_are_pruned_on_rearm(self):
+        env, bus = self._bus()
+        stale = [bus.on_register("svc") for _ in range(5)]
+        bus.register("svc", "ping", lambda: "pong")  # fires + clears all
+        bus.unregister_service("svc")
+        # Leak scenario: a caller armed a waiter, then let it fire
+        # without consuming it.  Re-arming prunes settled stragglers.
+        for ev in stale:
+            assert ev.triggered
+            ev.defuse()
+        kept = bus.on_register("svc")
+        assert bus._register_waiters["svc"] == [kept]
+
+    def test_waiters_do_not_accumulate_across_backoff_rounds(self):
+        """The client retry-loop pattern: arm, lose the race to the
+        backoff timer, discard.  N rounds must leave zero waiters."""
+        env, bus = self._bus()
+        for _ in range(50):
+            ev = bus.on_register("svc")
+            # backoff expired first; the caller walks away
+            assert bus.discard_waiter("svc", ev)
+        assert "svc" not in bus._register_waiters

@@ -208,3 +208,61 @@ class TestFailureInjector:
             inj.start_stochastic(
                 RngStreams(0), states=(SiteState.DOWN,), state_weights=(1.0, 2.0)
             )
+
+
+class TestEpochGuardedRestores:
+    """Regression: a restore must never revive a site while a *newer*
+    fault (from another injector process) is still in effect."""
+
+    def test_later_scripted_fault_wins_over_earlier_restore(self):
+        # Two schedule_windows calls bypass the single-call overlap
+        # check — exactly what layered chaos plans do.
+        env = Environment()
+        site = make_site(env)
+        inj = FailureInjector(env, {"s": site})
+        inj.schedule_windows([DowntimeWindow("s", 100.0, 300.0)])
+        inj.schedule_windows(
+            [DowntimeWindow("s", 200.0, 400.0, state=SiteState.DEGRADED)]
+        )
+        env.run(until=350.0)
+        # Window 1's restore at t=300 must NOT have revived the site:
+        # the DEGRADED fault injected at t=200 still owns it.
+        assert site.state is SiteState.DEGRADED
+        env.run(until=450.0)
+        assert site.state is SiteState.UP
+        # Exactly one UP transition, at the newest fault's end.
+        ups = [(t, s) for t, _n, s in inj.log if s is SiteState.UP]
+        assert ups == [(400.0, SiteState.UP)]
+
+    def test_stochastic_restore_yields_to_scripted_fault(self):
+        class FixedStream:
+            """exponential() -> scripted constants; first outage covers
+            t in [50, 250), overlapping the scripted window below."""
+
+            def __init__(self):
+                self.draws = iter([50.0, 200.0, 10_000.0])
+
+            def exponential(self, _scale):
+                return next(self.draws)
+
+            def choice(self, _n, p=None):
+                return 0
+
+        class FixedRng:
+            def stream(self, _name):
+                return FixedStream()
+
+        env = Environment()
+        site = make_site(env)
+        inj = FailureInjector(env, {"s": site})
+        inj.start_stochastic(FixedRng(), states=(SiteState.DOWN,),
+                             state_weights=(1.0,))
+        # Scripted BLACKHOLE lands mid-outage at t=100.
+        inj.schedule_windows(
+            [DowntimeWindow("s", 100.0, 500.0, state=SiteState.BLACKHOLE)]
+        )
+        env.run(until=300.0)
+        # The stochastic restore at t=250 was superseded at t=100.
+        assert site.state is SiteState.BLACKHOLE
+        env.run(until=600.0)
+        assert site.state is SiteState.UP
