@@ -1,10 +1,12 @@
 """Extension — deadline-aware QoS scheduling (paper §6 future work).
 
 Run on a fault-free grid (the extension demonstrates deadline
-awareness, not fault tolerance): the qos-deadline algorithm spreads
-load over every deadline-safe site and must keep its deadline hit rate
-competitive with round-robin's while the completion-time hybrid shows
-the light-load baseline (it meets deadlines for free by being fast).
+awareness, not fault tolerance).  ``qos-deadline`` now plans whole
+DAGs against an absolute deadline: the remaining budget is re-split
+across the stages still ahead as sim-time elapses, so early slack is
+spent where it helps and late stages get the strictest placement.
+The hybrid shows the light-load baseline (it meets deadlines for free
+by being fast); round-robin anchors the naive end.
 """
 
 from repro.experiments import Scenario, ServerSpec, format_table, run_scenario
@@ -12,14 +14,17 @@ from repro.experiments import Scenario, ServerSpec, format_table, run_scenario
 from benchmarks.common import SEED, emit, scale, scaled_dags
 
 PAPER_DAGS = 30
-DEADLINE_S = 900.0
+#: absolute per-DAG deadline (submission -> last job done)
+DEADLINE_S = 3600.0
 
 
-def deadline_hits(server_result, deadline_s):
-    times = server_result.job_completion_times
+def dag_deadline_hits(server_result, deadline_s):
+    """% of finished DAGs that completed within the absolute deadline."""
+    times = server_result.dag_completion_times
     if not times:
         return 0.0
-    return 100.0 * sum(1 for t in times if t <= deadline_s) / len(times)
+    hit = sum(1 for t in times.values() if t <= deadline_s)
+    return 100.0 * hit / server_result.total_dags
 
 
 def test_ext_qos_deadline(benchmark):
@@ -43,15 +48,17 @@ def test_ext_qos_deadline(benchmark):
     for label in ("qos-deadline", "completion-time", "round-robin"):
         s = result[label]
         rows.append([label, s.avg_dag_completion_s,
-                     deadline_hits(s, DEADLINE_S)])
+                     dag_deadline_hits(s, DEADLINE_S)])
     emit("ext_qos", format_table(
-        ["algorithm", "avg dag completion (s)", f"% jobs <= {DEADLINE_S:.0f}s"],
+        ["algorithm", "avg dag completion (s)",
+         f"% dags <= {DEADLINE_S:.0f}s"],
         rows,
-        title=f"Extension: QoS deadline scheduling (fault-free), {n_dags} dags",
+        title=f"Extension: QoS DAG-deadline scheduling (fault-free), "
+              f"{n_dags} dags",
     ))
     if scale() >= 1.0:
-        # Within a couple of points of round-robin's hit rate while
+        # Within a couple of points of round-robin's DAG hit rate while
         # deliberately spreading load (not racing to the fastest site).
-        assert deadline_hits(result["qos-deadline"], DEADLINE_S) >= \
-            deadline_hits(result["round-robin"], DEADLINE_S) - 3.0
+        assert dag_deadline_hits(result["qos-deadline"], DEADLINE_S) >= \
+            dag_deadline_hits(result["round-robin"], DEADLINE_S) - 3.0
         assert result["qos-deadline"].finished_dags == n_dags

@@ -102,13 +102,14 @@ _CHECKS = (
     "exactly-once-effects",
     "quota-conservation",
     "outbox-drained",
+    "reservation-conservation",
     "obs-consistency",
 )
 
 
 def check_invariants(servers: dict, clients: dict, bus, scenario,
                      regen_slack: dict | None = None,
-                     obs=None) -> InvariantReport:
+                     obs=None, grid=None) -> InvariantReport:
     """Audit the end state of a run; see the module docstring.
 
     ``regen_slack`` maps server label -> cumulative virtual-data
@@ -116,6 +117,13 @@ def check_invariants(servers: dict, clients: dict, bus, scenario,
     drills replace the server object, losing its counter); it widens
     the exactly-once tolerance, since a regenerated job legitimately
     completes twice.
+
+    ``grid`` (when supplied) additionally runs the **reservation
+    conservation** audit on every site's local scheduler: no terminal
+    reservation may still hold slots, no past-window reservation may
+    still be live, and the resource's occupied-slot count must equal
+    running jobs plus live held slots — a site outage that failed to
+    release a confirmed reservation's holds shows up here as a leak.
     """
     out: list[Violation] = []
     stats: dict = {"servers": len(servers)}
@@ -270,6 +278,14 @@ def check_invariants(servers: dict, clients: dict, bus, scenario,
                 out.append(Violation(
                     "outbox-drained", label, "outbox",
                     f"{left} undelivered messages at run end",
+                ))
+
+    # -- reservation conservation (site side) -----------------------------
+    if grid is not None:
+        for site in grid:
+            for problem in site.scheduler.reservation_audit():
+                out.append(Violation(
+                    "reservation-conservation", "*", site.name, problem,
                 ))
 
     # -- obs self-consistency ---------------------------------------------

@@ -277,12 +277,37 @@ def _sites(seed: int) -> ChaosPlan:
     )
 
 
+def _reservation_outage(seed: int) -> ChaosPlan:
+    """Crash the big sites mid-run while reservations are live.
+
+    Reserve-ahead servers book stage slots on the largest sites first
+    (they rank by predicted completion, ties broken by CPU count), so
+    killing grid3/acdc/uscmstb a while into the run guarantees some
+    sites die *holding confirmed reservations*.  The reservation-
+    conservation invariant then audits that every held slot was
+    released by the outage and nothing leaked when the windows closed.
+    """
+    from repro.simgrid.site import SiteState
+
+    return ChaosPlan(
+        name="reservation-outage",
+        seed=seed,
+        site_windows=(
+            DowntimeWindow("grid3", 2000.0, 6500.0),
+            DowntimeWindow("acdc", 2400.0, 8000.0),
+            DowntimeWindow("uscmstb", 3000.0, 9000.0,
+                           state=SiteState.BLACKHOLE),
+        ),
+    )
+
+
 PRESET_PLANS = {
     "lossy": _lossy,
     "partition": _partition,
     "crash": _crash,
     "full": _full,
     "sites": _sites,
+    "reservation-outage": _reservation_outage,
 }
 
 

@@ -97,6 +97,7 @@ def run_chaos(scenario: Scenario, plan: ChaosPlan,
     report = check_invariants(
         controller.servers, controller.clients, controller.bus,
         scenario, regen_slack=controller.regen_slack(), obs=obs,
+        grid=controller.grid,
     )
     return ChaosRunResult(
         scenario=scenario.name,

@@ -42,6 +42,7 @@ from repro.experiments import (
 )
 from repro.experiments.figures import (
     ALGORITHM_LINEUP,
+    ext_reservation_scenario,
     fig2_scenario,
     fig345_scenario,
     fig6_scenario,
@@ -58,6 +59,7 @@ TRACE_SCENARIOS = {
     "fig6": fig6_scenario,
     "fig7": fig7_scenario,
     "fig8": fig8_scenario,
+    "ext-reservation": ext_reservation_scenario,
 }
 
 

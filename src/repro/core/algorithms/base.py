@@ -49,6 +49,10 @@ class SchedulingAlgorithm(abc.ABC):
     #: registry key; subclasses must override.
     name: str = ""
 
+    #: True when the algorithm wants per-job DAG context (deadline
+    #: budgeting etc.); the planner then calls :meth:`choose_site_ctx`.
+    wants_context: bool = False
+
     @abc.abstractmethod
     def choose_site(
         self, job_id: str, candidates: Sequence[SiteView]
@@ -58,6 +62,27 @@ class SchedulingAlgorithm(abc.ABC):
         ``candidates`` is never empty-filtered here: the planner only
         calls with a non-empty pool.  Determinism contract: given equal
         scores, earlier candidates win.
+        """
+
+    def choose_site_ctx(
+        self, job_id: str, candidates: Sequence[SiteView], ctx: dict
+    ) -> Optional[str]:
+        """Context-aware variant; default ignores the context.
+
+        ``ctx`` carries planner-side DAG state: ``now``, the owning
+        DAG's ``received_at``, and ``remaining_levels`` (this job's
+        level plus everything below it on the longest chain to a leaf).
+        Only consulted when :attr:`wants_context` is True.
+        """
+        return self.choose_site(job_id, candidates)
+
+    def bind_state(self, warehouse) -> None:
+        """Attach durable algorithm state to the server's warehouse.
+
+        Called once at server construction (and again after a
+        crash-restart restore).  Stateless algorithms ignore it;
+        stateful ones (QosDeadline's rotation cursors) persist their
+        state in a table so restarts stay deterministic.
         """
 
     @staticmethod

@@ -12,6 +12,29 @@ deadline variant on top of the completion-time machinery:
 * if no site can meet the deadline, degrade gracefully to the plain
   completion-time argmin (finish as soon as possible);
 * while sites lack data, bootstrap round-robin exactly like the hybrid.
+
+Whole-DAG deadlines (DESIGN.md §5f)
+-----------------------------------
+``deadline_s`` is the budget for a *whole DAG*, counted from the instant
+the server received it.  When the planner supplies context (it always
+does; see :attr:`~repro.core.algorithms.base.SchedulingAlgorithm.
+wants_context`), each job's per-stage budget is re-derived as sim-time
+elapses::
+
+    remaining  = deadline_s - (now - dag.received_at)
+    budget     = safety_margin * remaining / remaining_levels
+
+where ``remaining_levels`` counts this job's level plus the longest
+chain of levels below it.  Early stages that finish fast leave slack to
+later stages; a DAG already past its deadline degrades every remaining
+job to finish-ASAP.  Without context (direct ``choose_site`` calls,
+``dag_deadline=False``) the legacy static per-job interpretation
+applies: every job is checked against ``safety_margin * deadline_s``.
+
+Rotation cursors persist in the ``qos_cursors`` warehouse table (via
+:meth:`bind_state`), so a crash-restarted server resumes the rotation
+exactly where it stopped — the chaos invariant checker assumes
+cross-restart determinism.
 """
 
 from __future__ import annotations
@@ -25,26 +48,88 @@ __all__ = ["QosDeadline"]
 
 class QosDeadline(SchedulingAlgorithm):
     name = "qos-deadline"
+    wants_context = True
 
-    def __init__(self, deadline_s: float = 600.0, safety_margin: float = 0.6):
+    _TABLE = "qos_cursors"
+    _COLUMNS = ("cursor", "value")
+
+    def __init__(
+        self,
+        deadline_s: float = 600.0,
+        safety_margin: float = 0.6,
+        dag_deadline: bool = True,
+    ):
         if deadline_s <= 0:
             raise ValueError("deadline must be > 0")
         if not 0.0 < safety_margin <= 1.0:
             raise ValueError("safety margin must be in (0, 1]")
         self.deadline_s = deadline_s
         self.safety_margin = safety_margin
+        self.dag_deadline = dag_deadline
         self._bootstrap_cursor = 0
         self._spread_cursor = 0
+        self._table = None
 
+    # -- durable state -----------------------------------------------------
+    def bind_state(self, warehouse) -> None:
+        """Persist rotation cursors in the server's warehouse.
+
+        On a fresh warehouse the table is seeded from the in-memory
+        cursors; on a restored warehouse (crash-restart drill) the
+        cursors are loaded back, so the rotation continues exactly where
+        the checkpoint left it.
+        """
+        if self._TABLE in warehouse:
+            self._table = warehouse.table(self._TABLE)
+        else:
+            self._table = warehouse.create_table(
+                self._TABLE, self._COLUMNS, key="cursor"
+            )
+        for name in ("bootstrap", "spread"):
+            row = self._table.get(name)
+            attr = f"_{name}_cursor"
+            if row is None:
+                self._table.insert({"cursor": name, "value": getattr(self, attr)})
+            else:
+                setattr(self, attr, row["value"])
+
+    def _advance(self, name: str) -> None:
+        attr = f"_{name}_cursor"
+        value = getattr(self, attr) + 1
+        setattr(self, attr, value)
+        if self._table is not None:
+            self._table.update(name, value=value)
+
+    # -- selection ---------------------------------------------------------
     def choose_site(
         self, job_id: str, candidates: Sequence[SiteView]
+    ) -> Optional[str]:
+        """Legacy static semantics: every job vs the full deadline."""
+        return self._choose(candidates, self.safety_margin * self.deadline_s)
+
+    def choose_site_ctx(
+        self, job_id: str, candidates: Sequence[SiteView], ctx: dict
+    ) -> Optional[str]:
+        if not self.dag_deadline or not ctx:
+            return self.choose_site(job_id, candidates)
+        elapsed = max(0.0, ctx["now"] - ctx.get("received_at", ctx["now"]))
+        remaining = self.deadline_s - elapsed
+        levels = max(1, int(ctx.get("remaining_levels", 1)))
+        # remaining <= 0: the DAG already blew its deadline — the budget
+        # goes to 0, no site is "feasible", and _choose degrades every
+        # remaining job to the finish-ASAP argmin.
+        budget = self.safety_margin * max(0.0, remaining) / levels
+        return self._choose(candidates, budget)
+
+    def _choose(
+        self, candidates: Sequence[SiteView], budget_s: float
     ) -> Optional[str]:
         if not candidates:
             return None
         unsampled = [v for v in candidates if v.avg_completion_s is None]
         if unsampled:
             choice = unsampled[self._bootstrap_cursor % len(unsampled)].name
-            self._bootstrap_cursor += 1
+            self._advance("bootstrap")
             return choice
 
         def predicted(v: SiteView) -> float:
@@ -52,10 +137,9 @@ class QosDeadline(SchedulingAlgorithm):
                 return v.predicted_completion_s
             return v.avg_completion_s  # type: ignore[return-value]
 
-        budget = self.safety_margin * self.deadline_s
-        feasible = [v for v in candidates if predicted(v) <= budget]
+        feasible = [v for v in candidates if predicted(v) <= budget_s]
         if feasible:
             choice = feasible[self._spread_cursor % len(feasible)].name
-            self._spread_cursor += 1
+            self._advance("spread")
             return choice
         return self._argmin(candidates, predicted)

@@ -314,6 +314,7 @@ class SphinxClient:
             site,
             runtime_s=plan["runtime_s"],
             owner=self.user.proxy,
+            reservation_id=plan.get("reservation_id"),
         )
         # Relay the RUNNING transition to the server (fire-and-forget);
         # eq. 1's "unfinished_jobs" counter is fed by these reports.

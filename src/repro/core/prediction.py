@@ -114,10 +114,14 @@ class CompletionTimeEstimator:
         avg = self.average_s(site)
         if avg is None:
             return None
-        if n_cpus < 1:
-            raise ValueError("n_cpus must be >= 1")
         if strength < 0:
             raise ValueError("strength must be >= 0")
+        if n_cpus < 1:
+            # A frozen/outage site advertises zero live CPUs; aborting
+            # the whole planning pass over one dead candidate would be
+            # worse than an uncorrected estimate, so return the plain
+            # average (the load correction is meaningless at capacity 0).
+            return avg
         return avg * (1.0 + strength * max(planned_jobs, 0) / n_cpus)
 
     def snapshot(self) -> dict[str, float]:

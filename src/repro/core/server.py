@@ -115,6 +115,16 @@ class ServerConfig:
     #: for plans or terminal reports dropped by a faulty transport or a
     #: crashed client.  None (default) disables the pass entirely.
     presume_lost_after_s: Optional[float] = None
+    #: proactive planning: when a DAG starts RUNNING, book advance
+    #: reservations for its later stages via the ``condor-g`` RPC,
+    #: co-allocating each parallel stage across the best-predicted
+    #: sites.  Jobs whose reservation confirms are planned straight to
+    #: the reserved site and claim its held slots.  Off by default —
+    #: the reactive feedback loop is the paper's configuration.
+    reserve_ahead: bool = False
+    #: walltime margin applied to stage duration/readiness estimates
+    #: when sizing reservation windows (> 1 absorbs estimator error).
+    reservation_slack: float = 1.5
 
 
 class SphinxServer:
@@ -180,6 +190,20 @@ class SphinxServer:
         self.algorithm = make_algorithm(
             config.algorithm, **config.algorithm_kwargs
         )
+        # Durable algorithm state (e.g. QosDeadline's rotation cursors)
+        # lives in the warehouse so crash-restarts stay deterministic.
+        self.algorithm.bind_state(self.warehouse)
+        #: per-dag map of remaining levels below each job (memoized for
+        #: deadline re-budgeting and stage reservation).
+        self._depth_cache: dict[str, dict[str, int]] = {}
+        #: reserve-ahead bookkeeping: job_id -> reservation group and
+        #: res_id -> group.  Deliberately in-memory only — a reservation
+        #: lost to a server crash is reclaimed by the site's window-end
+        #: expiry, which is cheaper than replaying RPC state.
+        self._job_reservations: dict[str, dict] = {}
+        self._reservation_groups: dict[str, dict] = {}
+        self.reservations_requested = 0
+        self.reservations_confirmed = 0
 
         #: live DAG objects reconstructed from payloads (cache over the
         #: dag payload column; rebuilt lazily after recovery).
@@ -629,6 +653,8 @@ class SphinxServer:
                 dags.update(dag_id, state=DagState.REDUCED.value)
                 dags.update(dag_id, state=_DAG_RUNNING)
                 self._dirty_dags.add(dag_id)
+                if self.config.reserve_ahead:
+                    self._reserve_dag_stages(dags.get(dag_id, copy=False))
 
     # -------------------------------------------------------------------- planner
     def _plan_ready_jobs(self) -> None:
@@ -692,7 +718,29 @@ class SphinxServer:
             self._plan_deferred(drow, job.job_id, "no-feasible-site")
             return False  # nothing feasible now; retry next tick
         views = [self._site_view(s) for s in candidates]
-        site = self.algorithm.choose_site(job.job_id, views)
+        site = None
+        reservation_id = None
+        group = self._job_reservations.get(job.job_id)
+        if group is not None:
+            if group["state"] == "confirmed" and group["site"] in candidates:
+                # Plan straight to the reserved site; the plan carries
+                # the res_id so the submission claims a held slot.
+                site = group["site"]
+                reservation_id = group["res_id"]
+            else:
+                # Rejected, still in flight, or the reserved site fell
+                # out of the feasible pool — plan normally and walk away
+                # from the booking (site-side expiry reclaims the slots
+                # if nobody else in the group shows up either).
+                self._abandon_job_reservation(job.job_id, group)
+                group = None
+        if site is None:
+            if self.algorithm.wants_context:
+                site = self.algorithm.choose_site_ctx(
+                    job.job_id, views, self._plan_context(drow, dag, job.job_id)
+                )
+            else:
+                site = self.algorithm.choose_site(job.job_id, views)
         if site is None:
             self._plan_deferred(drow, job.job_id, "no-site-chosen")
             return False
@@ -701,6 +749,12 @@ class SphinxServer:
         except QuotaExceededError:
             self._plan_deferred(drow, job.job_id, "quota")
             return False  # racing reservations; retry next tick
+        if group is not None:
+            # Consume the booking only once the plan is definitely going
+            # out (a quota defer above must keep it claimable).
+            group["jobs"].discard(job.job_id)
+            group["claimed"] += 1
+            self._job_reservations.pop(job.job_id, None)
         jobs = self.warehouse.table("jobs")
         # jrow may be the live row; read attempts before update mutates it.
         attempt = jrow["attempts"] + 1
@@ -750,6 +804,7 @@ class SphinxServer:
                     {"lfn": f.lfn, "size_mb": f.size_mb} for f in job.outputs
                 ],
                 "timeout_s": self.config.job_timeout_s,
+                "reservation_id": reservation_id,
             },
         )
         return True
@@ -766,6 +821,185 @@ class SphinxServer:
             if span is not None:
                 self.obs.tracer.add_event(span, "plan-deferred",
                                           job_id=job_id, reason=reason)
+
+    # ------------------------------------------------------ proactive reservations
+    def _plan_context(self, drow: dict, dag: Dag, job_id: str) -> dict:
+        """Per-job DAG context for context-aware algorithms (QosDeadline)."""
+        return {
+            "now": self.env.now,
+            "received_at": drow["received_at"],
+            "remaining_levels": self._remaining_levels(dag).get(job_id, 1),
+        }
+
+    def _remaining_levels(self, dag: Dag) -> dict[str, int]:
+        """job_id -> own level plus the longest level chain below it."""
+        cached = self._depth_cache.get(dag.dag_id)
+        if cached is not None:
+            return cached
+        depth: dict[str, int] = {}
+        for jid in reversed(dag.job_ids):
+            below = max(
+                (depth[c] for c in dag.children(jid)), default=0
+            )
+            depth[jid] = 1 + below
+        self._depth_cache[dag.dag_id] = depth
+        return depth
+
+    def _stage_levels(self, dag: Dag) -> dict[int, list[str]]:
+        """Group jobs by dependency level (0 = roots), topo-stable."""
+        level: dict[str, int] = {}
+        stages: dict[int, list[str]] = {}
+        for jid in dag.job_ids:
+            lvl = max(
+                (level[p] + 1 for p in dag.parents(jid)), default=0
+            )
+            level[jid] = lvl
+            stages.setdefault(lvl, []).append(jid)
+        return stages
+
+    def _reserve_dag_stages(self, drow: dict) -> None:
+        """Book advance reservations for a new RUNNING dag's later stages.
+
+        Each level after the roots gets a window starting at the
+        estimated readiness instant (cumulative predicted stage
+        durations, stretched by ``reservation_slack``), co-allocated
+        across the best-predicted sites up to each site's CPU count.
+        Confirmations arrive asynchronously; until then the group is
+        "pending" and jobs that come ready early just plan normally.
+        """
+        dag = self._dag(drow["dag_id"])
+        jobs = self.warehouse.table("jobs")
+        stages = self._stage_levels(dag)
+        if len(stages) < 2:
+            return  # single-stage dags plan immediately; nothing to book
+        candidates = list(self.site_catalog)
+        if self.config.use_feedback:
+            reliable = list(self.feedback.reliable_sites(candidates))
+            if reliable:
+                candidates = reliable
+        views = [self._site_view(s) for s in candidates]
+        start = self.env.now
+        slack = self.config.reservation_slack
+        for lvl in sorted(stages):
+            stage_jobs = [
+                jid for jid in stages[lvl]
+                if jobs.get(jid, copy=False)["state"] == _JOB_UNPLANNED
+            ]
+            if not stage_jobs:
+                continue
+            duration = slack * max(
+                self._job_duration_estimate(dag.job(jid))
+                for jid in stage_jobs
+            )
+            if lvl > 0:
+                self._reserve_stage(drow, lvl, stage_jobs, start, duration,
+                                    views)
+            start += duration
+
+    def _job_duration_estimate(self, job) -> float:
+        """Site-agnostic completion estimate for window sizing."""
+        sampled = [
+            avg for s in self.site_catalog
+            if (avg := self.estimator.average_s(s)) is not None
+        ]
+        if sampled:
+            return max(job.runtime_s, min(sampled))
+        # Cold start: allow generously for queueing + transfer on top of
+        # the nominal compute demand.
+        return 3.0 * job.runtime_s
+
+    def _reserve_stage(
+        self,
+        drow: dict,
+        level: int,
+        stage_jobs: list,
+        start_s: float,
+        duration_s: float,
+        views: list,
+    ) -> None:
+        """Co-allocate one parallel stage across the best-predicted sites."""
+
+        def rank(view) -> tuple:
+            score = view.predicted_completion_s
+            if score is None:
+                score = view.avg_completion_s
+            if score is None:
+                score = float("inf")  # unsampled sites last, by size
+            return (score, -view.n_cpus, view.name)
+
+        remaining = list(stage_jobs)
+        for view in sorted(views, key=rank):
+            if not remaining:
+                break
+            chunk = remaining[: max(1, view.n_cpus)]
+            remaining = remaining[len(chunk):]
+            res_id = (
+                f"{self.config.name}:{drow['dag_id']}:L{level}:{view.name}"
+            )
+            group = {
+                "res_id": res_id,
+                "site": view.name,
+                "state": "pending",
+                "jobs": set(chunk),
+                "claimed": 0,
+            }
+            self._reservation_groups[res_id] = group
+            for jid in chunk:
+                self._job_reservations[jid] = group
+            self.reservations_requested += 1
+            ev = self.bus.call(
+                f"/CN={self.service_name}",
+                "condor-g",
+                "reserve",
+                res_id,
+                view.name,
+                start_s,
+                duration_s,
+                len(chunk),
+            )
+            ev.add_callback(
+                lambda e, rid=res_id: self._reservation_ack(e, rid)
+            )
+
+    def _reservation_ack(self, ev, res_id: str) -> None:
+        group = self._reservation_groups.get(res_id)
+        if group is None:
+            return
+        if ev.ok and ev.value is True:
+            group["state"] = "confirmed"
+            self.reservations_confirmed += 1
+            # Jobs deferred while the ack was in flight can now plan to
+            # the reserved site.
+            self._wake()
+            return
+        if not ev.ok:
+            ev.defuse()
+        group["state"] = "rejected"
+        for jid in list(group["jobs"]):
+            self._job_reservations.pop(jid, None)
+        group["jobs"].clear()
+        self._reservation_groups.pop(res_id, None)
+
+    def _abandon_job_reservation(self, job_id: str, group: dict) -> None:
+        """A job plans elsewhere; drop its claim on the booked window."""
+        group["jobs"].discard(job_id)
+        self._job_reservations.pop(job_id, None)
+        if (
+            not group["jobs"]
+            and group["claimed"] == 0
+            and group["state"] == "confirmed"
+        ):
+            # Nobody left to claim the window: release it at the site
+            # now instead of letting it idle until expiry.
+            group["state"] = "cancelled"
+            self._reservation_groups.pop(group["res_id"], None)
+            self.bus.call(
+                f"/CN={self.service_name}",
+                "condor-g",
+                "cancel_reservation",
+                group["res_id"],
+                group["site"],
+            ).add_callback(lambda e: e.defuse() if not e.ok else None)
 
     def _site_view(self, site: str) -> SiteView:
         planned, unfinished = self._site_active[site]

@@ -21,6 +21,8 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.runner import ExperimentResult, ServerResult, run_scenario
 from repro.experiments.figures import (
+    ext_reservation,
+    ext_reservation_scenario,
     fig2_feedback,
     fig3_algorithms,
     fig5_pairwise,
@@ -48,6 +50,8 @@ __all__ = [
     "SuiteRun",
     "default_fault_windows",
     "default_suite",
+    "ext_reservation",
+    "ext_reservation_scenario",
     "fig2_feedback",
     "fig3_algorithms",
     "fig5_pairwise",

@@ -32,6 +32,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro import obs as obs_mod
 from repro.experiments.figures import (
+    ext_reservation_scenario,
     fig2_scenario,
     fig345_scenario,
     fig5_pair_scenario,
@@ -53,6 +54,7 @@ __all__ = [
     "run_suite",
     "headline_metrics",
     "planning_latency_percentiles",
+    "reservation_counts",
     "suite_payload",
 ]
 
@@ -149,6 +151,11 @@ def default_suite(scale: float = 1.0, seed: int = 42,
                 control_plane=mode,
             ),
         ))
+    cases.append(SuiteCase(
+        "ext-reservation",
+        ext_reservation_scenario(_scaled(30, scale), seed,
+                                 control_plane=mode),
+    ))
     return tuple(cases)
 
 
@@ -272,6 +279,25 @@ def planning_latency_percentiles(
     return None, None
 
 
+def reservation_counts(snapshot: dict) -> dict:
+    """Reservation activity in a metrics-registry snapshot.
+
+    Sums the per-site ``site.reservations`` counters by outcome
+    (confirmed/rejected/released/expired/cancelled) and the
+    ``site.backfill_starts`` counter; all zeros when the case ran no
+    reserve-ahead server."""
+    out = {"confirmed": 0, "rejected": 0, "released": 0,
+           "expired": 0, "cancelled": 0, "backfill_starts": 0}
+    for counter in snapshot.get("counters", ()):
+        if counter["name"] == "site.reservations":
+            outcome = counter["labels"].get("outcome")
+            if outcome in out:
+                out[outcome] += int(counter["value"])
+        elif counter["name"] == "site.backfill_starts":
+            out["backfill_starts"] += int(counter["value"])
+    return out
+
+
 def suite_payload(runs: Sequence[SuiteRun], scale: float,
                   workers: int,
                   control_plane: str = ControlPlaneMode.PUSH) -> dict:
@@ -285,6 +311,7 @@ def suite_payload(runs: Sequence[SuiteRun], scale: float,
                              if run.wall_s > 0 else None),
             "planning_latency_p50_s": lat_p50,
             "planning_latency_p95_s": lat_p95,
+            "reservations": reservation_counts(run.metrics),
             **headline_metrics(run.result),
         }
     return {

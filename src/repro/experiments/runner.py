@@ -127,6 +127,8 @@ def _build_server(
         use_prediction_correction=spec.use_prediction_correction,
         estimator_mode=spec.estimator_mode,
         prediction_correction_strength=spec.prediction_correction_strength,
+        reserve_ahead=spec.reserve_ahead,
+        reservation_slack=spec.reservation_slack,
         checkpoint_interval_s=0.0,  # recovery is exercised separately
     )
     if chaos is not None:
@@ -185,7 +187,10 @@ def run_scenario(scenario: Scenario,
         bus = RpcBus(env, obs=obs)
     rls = ReplicaService(env, grid.site_names)
     gridftp = GridFtpService(env, grid, rls)
-    condorg = CondorG(env, grid)
+    # The bus reference exposes the "condor-g" reservation RPCs to
+    # reserve-ahead servers; registration is pure dict work, so
+    # reservation-less runs stay bit-identical.
+    condorg = CondorG(env, grid, bus=bus)
     monitoring = MonitoringService(
         env, grid, update_interval_s=scenario.monitoring_interval_s
     )

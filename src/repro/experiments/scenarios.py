@@ -68,6 +68,10 @@ class ServerSpec:
     use_prediction_correction: bool = True
     estimator_mode: str = "ewma"
     prediction_correction_strength: float = 4.0
+    #: proactive advance reservations for DAG stages (vs purely
+    #: reactive feedback); see ServerConfig.reserve_ahead.
+    reserve_ahead: bool = False
+    reservation_slack: float = 1.5
 
 
 def default_fault_windows(horizon_s: float) -> tuple[DowntimeWindow, ...]:

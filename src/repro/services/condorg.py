@@ -17,6 +17,10 @@ contract:
   after retries; we surface it promptly so the tracker can replan.
 * :meth:`CondorG.cancel` — condor_rm against the remote batch system.
 * status-change callbacks — what the SPHINX job tracker subscribes to.
+* the ``condor-g`` RPC service (when built with a bus): ``reserve`` /
+  ``cancel_reservation`` let the *server* book advance-reservation
+  windows at sites ahead of DAG-stage readiness — the proactive
+  counterpart of the paper's reactive feedback loop.
 """
 
 from __future__ import annotations
@@ -128,14 +132,57 @@ class GridJobHandle:
 
 
 class CondorG:
-    """Submission/cancel front end over the simulated grid."""
+    """Submission/cancel front end over the simulated grid.
 
-    def __init__(self, env: Environment, grid: Grid):
+    When constructed with an RPC ``bus`` it also registers the
+    ``condor-g`` service, exposing the advance-reservation verbs to the
+    server side (which has no direct reference to the grid).
+    """
+
+    SERVICE = "condor-g"
+
+    def __init__(self, env: Environment, grid: Grid, bus=None):
         self.env = env
         self.grid = grid
         self._handles: dict[str, GridJobHandle] = {}
         self.submitted_count = 0
         self.failed_submissions = 0
+        self.reservations_confirmed = 0
+        self.reservations_rejected = 0
+        if bus is not None:
+            bus.register(self.SERVICE, "reserve", self._rpc_reserve)
+            bus.register(
+                self.SERVICE, "cancel_reservation", self._rpc_cancel_reservation
+            )
+
+    # -- reservation RPCs (server-facing) ------------------------------------------
+    def _rpc_reserve(
+        self,
+        res_id: str,
+        site: str,
+        start_s: float,
+        duration_s: float,
+        cpus: int = 1,
+    ) -> bool:
+        """Book an advance-reservation window at ``site``.
+
+        Returns the site's confirmed/rejected verdict; a DOWN site
+        rejects (the gatekeeper does not answer the reservation call
+        either).
+        """
+        if site not in self.grid:
+            raise KeyError(f"unknown site {site!r}")
+        ok = self.grid.site(site).reserve(res_id, start_s, duration_s, cpus)
+        if ok:
+            self.reservations_confirmed += 1
+        else:
+            self.reservations_rejected += 1
+        return ok
+
+    def _rpc_cancel_reservation(self, res_id: str, site: str) -> bool:
+        if site not in self.grid:
+            raise KeyError(f"unknown site {site!r}")
+        return self.grid.site(site).cancel_reservation(res_id)
 
     def submit(
         self,
@@ -144,11 +191,15 @@ class CondorG:
         runtime_s: float,
         owner: str = "anonymous",
         priority: Optional[int] = None,
+        reservation_id: Optional[str] = None,
     ) -> GridJobHandle:
         """Submit a job to ``site``; always returns a handle.
 
         A dead gatekeeper yields a handle in status FAILED (never an
         exception) so callers have one uniform tracking path.
+        ``reservation_id`` claims a slot of a previously booked window;
+        an unknown or expired reservation silently degrades to the
+        ordinary queue (the job must still run).
         """
         if job_id in self._handles:
             raise ValueError(f"duplicate grid job id {job_id!r}")
@@ -159,7 +210,8 @@ class CondorG:
         self.submitted_count += 1
         try:
             site_job = self.grid.site(site).submit(
-                job_id, runtime_s=runtime_s, owner=owner, priority=priority
+                job_id, runtime_s=runtime_s, owner=owner, priority=priority,
+                reservation_id=reservation_id,
             )
         except SiteUnavailableError:
             self.failed_submissions += 1

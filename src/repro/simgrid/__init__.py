@@ -18,7 +18,13 @@ package reproduces that environment as a discrete-event simulation:
 
 from repro.simgrid.vo import User, VirtualOrganization
 from repro.simgrid.network import NetworkModel
-from repro.simgrid.local_scheduler import LocalScheduler, SiteJob, SiteJobStatus
+from repro.simgrid.local_scheduler import (
+    LocalScheduler,
+    Reservation,
+    ReservationState,
+    SiteJob,
+    SiteJobStatus,
+)
 from repro.simgrid.site import GridSite, SiteState
 from repro.simgrid.background import BackgroundLoad
 from repro.simgrid.failures import DowntimeWindow, FailureInjector
@@ -33,6 +39,8 @@ __all__ = [
     "GridSite",
     "LocalScheduler",
     "NetworkModel",
+    "Reservation",
+    "ReservationState",
     "SiteJob",
     "SiteJobStatus",
     "SiteState",

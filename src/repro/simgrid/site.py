@@ -99,18 +99,29 @@ class GridSite:
         self.disk_capacity_mb = disk_capacity_mb
         self._rng = rng.stream("service-noise")
         self._state = SiteState.UP
-        self.scheduler = LocalScheduler(env, n_cpus, self._service_time)
+        self.scheduler = LocalScheduler(env, n_cpus, self._service_time, name=name)
         #: logical files present at this site (lfn -> size_mb)
         self._storage: dict[str, float] = {}
         #: per-proxy priority overrides (site-local relegation)
         self._proxy_priority: dict[str, int] = {}
         #: state transition history [(time, state)] for analysis
         self.state_history: list[tuple[float, SiteState]] = [(env.now, SiteState.UP)]
-        #: observability hook; the experiment runner swaps in a live
-        #: :class:`repro.obs.Obs` so fault transitions land in the trace.
-        #: (Attribute assignment, not a constructor argument, because
-        #: sites are built deep inside :class:`~repro.simgrid.grid.Grid`.)
-        self.obs = _obs.NULL_OBS
+        # Observability hook; the experiment runner swaps in a live
+        # :class:`repro.obs.Obs` so fault transitions land in the trace.
+        # (Attribute assignment, not a constructor argument, because
+        # sites are built deep inside :class:`~repro.simgrid.grid.Grid`.)
+        self._obs = _obs.NULL_OBS
+
+    @property
+    def obs(self) -> "_obs.Obs":
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        # Forward to the scheduler so reservation/backfill metrics carry
+        # the site label without the runner knowing about the calendar.
+        self._obs = value
+        self.scheduler.obs = value
 
     # -- static attributes the paper's algorithms read -----------------------------
     @property
@@ -142,7 +153,10 @@ class GridSite:
                 site=self.name, state=state.value,
             )
         if state is SiteState.DOWN:
-            # Loud failure: everything in the batch system dies.
+            # Loud failure: everything in the batch system dies, and
+            # confirmed reservations release their held slots instead of
+            # leaking them into the frozen pool.
+            self.scheduler.release_reservations()
             self.scheduler.kill_all()
             self.scheduler.freeze()
         elif state is SiteState.BLACKHOLE:
@@ -190,6 +204,23 @@ class GridSite:
     def files(self) -> tuple[str, ...]:
         return tuple(self._storage)
 
+    # -- advance reservations -------------------------------------------------------------
+    def reserve(
+        self, res_id: str, start_s: float, duration_s: float, cpus: int = 1
+    ) -> bool:
+        """Admit a reservation window; False when rejected or site DOWN.
+
+        BLACKHOLE sites confirm reservations just as they accept jobs —
+        silently and uselessly; the window-end timer cleans them up.
+        """
+        if self._state is SiteState.DOWN:
+            return False
+        return self.scheduler.reserve(res_id, start_s, duration_s, cpus)
+
+    def cancel_reservation(self, res_id: str) -> bool:
+        """Withdraw a reservation (client replan or server give-up)."""
+        return self.scheduler.cancel_reservation(res_id)
+
     # -- job submission -------------------------------------------------------------------
     def submit(
         self,
@@ -198,13 +229,15 @@ class GridSite:
         owner: str = "anonymous",
         priority: Optional[int] = None,
         detached: bool = False,
+        reservation_id: Optional[str] = None,
     ) -> SiteJob:
         """Submit a job to this site's batch system.
 
         Raises :class:`SiteUnavailableError` when the site is DOWN — the
         Globus gatekeeper does not answer.  BLACKHOLE sites accept the
         job silently, which is precisely their danger.  ``detached``
-        marks watcher-less submissions (background load); see
+        marks watcher-less submissions (background load);
+        ``reservation_id`` claims a slot of a confirmed reservation; see
         :meth:`LocalScheduler.submit`.
         """
         if self._state is SiteState.DOWN:
@@ -213,7 +246,9 @@ class GridSite:
         job = SiteJob(
             job_id=job_id, owner=owner, runtime_s=runtime_s, priority=prio
         )
-        return self.scheduler.submit(job, detached=detached)
+        return self.scheduler.submit(
+            job, detached=detached, reservation_id=reservation_id
+        )
 
     def kill(self, job_id: str) -> bool:
         """Remote cancellation (what the SPHINX client sends on timeout)."""

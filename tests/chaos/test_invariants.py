@@ -33,7 +33,8 @@ def healthy():
 def audit(scenario, controller):
     return check_invariants(controller.servers, controller.clients,
                             controller.bus, scenario,
-                            regen_slack=controller.regen_slack())
+                            regen_slack=controller.regen_slack(),
+                            grid=controller.grid)
 
 
 def test_healthy_run_audits_clean(healthy):
@@ -87,6 +88,29 @@ def test_detects_job_orphaned_from_its_dag(healthy):
         assert "job-referential" in codes
     finally:
         jobs.update(job_id, dag_id=original)
+
+
+def test_reservation_conservation_detects_leak(healthy):
+    scenario, controller = healthy
+    from repro.simgrid import Reservation, ReservationState
+
+    site = next(iter(controller.grid))
+    sched = site.scheduler
+    # A terminal reservation that somehow kept a slot: the exact state a
+    # buggy outage path would leave behind.
+    leak = Reservation("leak", start_s=0.0, duration_s=1.0, cpus=1,
+                       requested_at=0.0,
+                       state=ReservationState.CANCELLED)
+    leak.held.append(object())
+    sched._reservations["leak"] = leak
+    try:
+        report = audit(scenario, controller)
+        assert any(
+            v.code == "reservation-conservation" and v.subject == site.name
+            for v in report.violations
+        )
+    finally:
+        del sched._reservations["leak"]
 
 
 def test_detects_quota_ledger_drift():

@@ -209,3 +209,55 @@ class TestQosDeadline:
 
     def test_empty_pool(self):
         assert make_algorithm("qos-deadline").choose_site("j", []) is None
+
+    def test_ctx_splits_budget_across_remaining_levels(self):
+        alg = make_algorithm("qos-deadline", deadline_s=400.0)
+        sites = [view("fast", avg=100.0), view("slow", avg=180.0)]
+        # Full budget 0.6*400=240: both feasible.  With 2 levels still
+        # ahead this stage gets 120: only the fast site fits.
+        ctx = {"now": 0.0, "received_at": 0.0, "remaining_levels": 2}
+        picks = {alg.choose_site_ctx(f"j{i}", sites, ctx) for i in range(4)}
+        assert picks == {"fast"}
+
+    def test_ctx_budget_shrinks_as_time_elapses(self):
+        alg = make_algorithm("qos-deadline", deadline_s=400.0)
+        sites = [view("fast", avg=100.0), view("slow", avg=180.0)]
+        early = {"now": 0.0, "received_at": 0.0, "remaining_levels": 1}
+        picks = {alg.choose_site_ctx(f"j{i}", sites, early)
+                 for i in range(4)}
+        assert picks == {"fast", "slow"}  # 240s budget: spread
+        late = {"now": 300.0, "received_at": 0.0, "remaining_levels": 1}
+        picks = {alg.choose_site_ctx(f"k{i}", sites, late)
+                 for i in range(4)}
+        assert picks == {"fast"}  # 60s budget left: only the fast site
+
+    def test_ctx_blown_deadline_degrades_to_argmin(self):
+        alg = make_algorithm("qos-deadline", deadline_s=400.0)
+        sites = [view("slow", avg=300.0), view("less-slow", avg=200.0)]
+        ctx = {"now": 900.0, "received_at": 0.0, "remaining_levels": 3}
+        assert alg.choose_site_ctx("j", sites, ctx) == "less-slow"
+
+    def test_ctx_disabled_uses_static_semantics(self):
+        alg = make_algorithm("qos-deadline", deadline_s=400.0,
+                             dag_deadline=False)
+        sites = [view("fast", avg=100.0), view("slow", avg=180.0)]
+        ctx = {"now": 399.0, "received_at": 0.0, "remaining_levels": 5}
+        picks = {alg.choose_site_ctx(f"j{i}", sites, ctx) for i in range(4)}
+        assert picks == {"fast", "slow"}  # static 240s budget, no shrink
+
+    def test_cursors_persist_across_warehouse_round_trip(self):
+        from repro.core.warehouse import Warehouse
+
+        w = Warehouse()
+        alg = make_algorithm("qos-deadline", deadline_s=400.0)
+        alg.bind_state(w)
+        sites = [view("a", avg=50.0), view("b", avg=60.0)]
+        first = [alg.choose_site(f"j{i}", sites) for i in range(3)]
+        # crash-restart: a new instance bound to the restored warehouse
+        # continues the rotation instead of rewinding to "a".
+        w2 = Warehouse()
+        w2.restore(w.snapshot())
+        alg2 = make_algorithm("qos-deadline", deadline_s=400.0)
+        alg2.bind_state(w2)
+        cont = [alg2.choose_site(f"k{i}", sites) for i in range(3)]
+        assert (first + cont)[:6] == ["a", "b", "a", "b", "a", "b"]

@@ -134,11 +134,15 @@ class TestEstimator:
         assert est.predicted_s("s", planned_jobs=0, n_cpus=10) == 100.0
         assert est.predicted_s("s", planned_jobs=5, n_cpus=10) == 150.0
 
-    def test_correction_rejects_bad_cpus(self):
+    def test_zero_cpus_returns_uncorrected_average(self):
+        # A frozen/outage site advertises 0 live CPUs mid-planning; the
+        # estimator must degrade to the plain average, not abort the
+        # whole planning pass.
         est = CompletionTimeEstimator(Warehouse())
         est.record("s", 100.0)
+        assert est.predicted_s("s", planned_jobs=5, n_cpus=0) == 100.0
         with pytest.raises(ValueError):
-            est.predicted_s("s", n_cpus=0)
+            est.predicted_s("s", n_cpus=1, strength=-1.0)
 
     def test_negative_planned_clamped(self):
         est = CompletionTimeEstimator(Warehouse())

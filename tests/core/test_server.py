@@ -262,6 +262,21 @@ def test_completion_feeds_estimator():
     assert st.server.estimator.average_s("s2") == 123.0
 
 
+def test_cancelled_report_never_feeds_estimator():
+    # Killed/held jobs must not contribute completion samples: a job
+    # killed while PENDING reports completion_time_s=None (see
+    # SiteJob.completion_time_s), and the cancelled branch must not
+    # record anything even if a raced report carries a time.
+    st = Stack()
+    st.submit(chain_dag())
+    st.server.tick()
+    st.server._rpc_fetch_messages("c0")
+    st.server._rpc_report_status("d0.a", "cancelled", "s0", reason="killed")
+    assert st.server.estimator.sample_count("s0") == 0
+    assert st.server.estimator.average_s("s0") is None
+    assert st.server.jobs_per_site().get("s0", 0) == 0
+
+
 def test_dag_reducer_removes_satisfied_jobs():
     st = Stack()
     st.rls.register_replica("d0.a.out", "s0", 1.0)

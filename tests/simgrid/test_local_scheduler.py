@@ -80,9 +80,27 @@ def test_kill_pending_job():
     env.run()
     assert victim.status is SiteJobStatus.KILLED
     assert victim.started_at is None
+    # A job that never ran has no finish instant: its completion time
+    # must stay None so estimators/telemetry can never ingest the
+    # queue-wait of a killed job as a completion sample.
+    assert victim.finished_at is None
+    assert victim.completion_time_s is None
     assert sched.killed_count == 1
     # The runner is unaffected.
     assert sched.job("runner").status is SiteJobStatus.COMPLETED
+
+
+def test_killed_running_job_keeps_timing():
+    env = Environment()
+    sched = make(env, n_cpus=1)
+    job = sched.submit(SiteJob("j", runtime_s=100.0))
+    env.run(until=5.0)
+    sched.kill("j")
+    env.run()
+    # It did run: started and finished instants are both real.
+    assert job.started_at == 0.0
+    assert job.finished_at == 5.0
+    assert job.completion_time_s == 5.0
 
 
 def test_kill_running_job_frees_slot():
@@ -131,6 +149,18 @@ def test_kill_all():
     assert sched.kill_all() == 4
     env.run()
     assert all(j.status is SiteJobStatus.KILLED for j in jobs)
+
+
+def test_frozen_site_reports_full_utilization():
+    env = Environment()
+    sched = make(env, n_cpus=2)
+    assert sched.utilization == 0.0
+    sched.freeze()
+    # Zero live capacity must read as saturated, not idle: monitoring
+    # would otherwise route work at a blackholed site.
+    assert sched.utilization == 1.0
+    sched.thaw()
+    assert sched.utilization == 0.0
 
 
 def test_freeze_blocks_new_starts():
