@@ -1,0 +1,174 @@
+"""CI perf trajectory: append a suite run to BENCH_TREND.json, compare.
+
+Reads one ``BENCH_SUITE.json`` (written by ``repro suite``), appends a
+compact per-case record (events/s, wall-clock, event count) to a
+``BENCH_TREND.json`` history file persisted across CI runs, and
+compares against the most recent *comparable* previous entry — same
+scale and control plane, since events/s at 10% workload says nothing
+about full scale.  Exits 1 when any case's events/s throughput drops
+by more than the threshold (default 20%).
+
+Markdown comparison lines go to stdout so CI can append them to the
+step summary::
+
+    python benchmarks/perf_trend.py \
+        --suite BENCH_SUITE.json --trend BENCH_TREND.json \
+        >> "$GITHUB_STEP_SUMMARY"
+
+Simulation *metrics* are deterministic and covered by golden tests;
+this guards the other axis — wall-clock throughput of the kernel and
+scheduler, the thing the extreme-scale optimizations bought.  Event
+counts are also recorded, so a throughput drop can be told apart from
+a workload change (more events at the same speed is not a regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["append_run", "compare", "main"]
+
+#: BENCH_TREND.json schema identifier; bump on breaking changes.
+SCHEMA = "repro-bench-trend/v1"
+
+DEFAULT_THRESHOLD = 0.20
+DEFAULT_MAX_ENTRIES = 100
+
+
+def _entry_from_suite(suite: dict, timestamp: float) -> dict:
+    """The compact trend record for one suite run."""
+    return {
+        "timestamp": timestamp,
+        "scale": suite.get("scale"),
+        "control_plane": suite.get("control_plane", "push"),
+        "workers": suite.get("workers"),
+        "cases": {
+            name: {
+                "events_per_s": fig.get("events_per_s"),
+                "wall_s": fig.get("wall_s"),
+                "event_count": fig.get("event_count"),
+            }
+            for name, fig in suite.get("figures", {}).items()
+        },
+    }
+
+
+def _comparable(entry: dict, other: dict) -> bool:
+    return (entry.get("scale") == other.get("scale")
+            and entry.get("control_plane") == other.get("control_plane"))
+
+
+def compare(entry: dict, previous: dict | None,
+            threshold: float = DEFAULT_THRESHOLD,
+            ) -> tuple[list[str], list[str]]:
+    """(markdown lines, regression descriptions) for one new entry.
+
+    A case regresses when its events/s drops by more than ``threshold``
+    relative to the previous comparable run.  Cases new to the suite
+    (or with no throughput recorded on either side) are reported but
+    never fail the build.
+    """
+    lines = ["| case | events/s | previous | delta |",
+             "|---|---:|---:|---:|"]
+    regressions: list[str] = []
+    prev_cases = previous["cases"] if previous else {}
+    for name, case in sorted(entry["cases"].items()):
+        now = case.get("events_per_s")
+        before = prev_cases.get(name, {}).get("events_per_s")
+        if now is None or before is None or before <= 0:
+            lines.append(f"| {name} | "
+                         f"{'-' if now is None else f'{now:.0f}'} | - | new |")
+            continue
+        delta = now / before - 1.0
+        flag = ""
+        if delta < -threshold:
+            flag = " :warning:"
+            regressions.append(
+                f"{name}: {now:.0f} ev/s vs {before:.0f} "
+                f"({delta:+.1%}, threshold -{threshold:.0%})"
+            )
+        lines.append(f"| {name} | {now:.0f} | {before:.0f} "
+                     f"| {delta:+.1%}{flag} |")
+    return lines, regressions
+
+
+def append_run(suite: dict, trend: dict | None,
+               threshold: float = DEFAULT_THRESHOLD,
+               max_entries: int = DEFAULT_MAX_ENTRIES,
+               timestamp: float | None = None,
+               ) -> tuple[dict, list[str], list[str]]:
+    """Fold one suite run into the trend document.
+
+    Returns ``(new_trend, markdown_lines, regressions)``; the caller
+    persists ``new_trend`` and fails the build when ``regressions`` is
+    non-empty.
+    """
+    if trend is None or trend.get("schema") != SCHEMA:
+        trend = {"schema": SCHEMA, "entries": []}
+    entry = _entry_from_suite(
+        suite, time.time() if timestamp is None else timestamp
+    )
+    previous = next(
+        (e for e in reversed(trend["entries"]) if _comparable(entry, e)),
+        None,
+    )
+    lines, regressions = compare(entry, previous, threshold)
+    entries = (trend["entries"] + [entry])[-max_entries:]
+    return {"schema": SCHEMA, "entries": entries}, lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append a suite run to the perf trend; "
+                    "exit 1 on throughput regression")
+    parser.add_argument("--suite", default="BENCH_SUITE.json",
+                        help="suite report to ingest")
+    parser.add_argument("--trend", default="BENCH_TREND.json",
+                        help="trend history file (created if absent)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="fractional events/s drop that fails "
+                             "(default: 0.20)")
+    parser.add_argument("--max-entries", type=int,
+                        default=DEFAULT_MAX_ENTRIES,
+                        help="history entries to keep (default: 100)")
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        print("perf_trend: --threshold must be in (0, 1)",
+              file=sys.stderr)
+        return 2
+
+    suite = json.loads(Path(args.suite).read_text())
+    trend_path = Path(args.trend)
+    trend = (json.loads(trend_path.read_text())
+             if trend_path.exists() else None)
+
+    new_trend, lines, regressions = append_run(
+        suite, trend, threshold=args.threshold,
+        max_entries=args.max_entries,
+    )
+    trend_path.write_text(json.dumps(new_trend, indent=2) + "\n")
+
+    n = len(new_trend["entries"])
+    print(f"### Perf trajectory (run {n}, scale "
+          f"{suite.get('scale')}, threshold "
+          f"-{args.threshold:.0%})")
+    print()
+    print("\n".join(lines))
+    if regressions:
+        print()
+        print("**throughput regressions:**")
+        for r in regressions:
+            print(f"- {r}")
+        print(f"perf_trend: {len(regressions)} case(s) regressed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from repro.experiments import (
     fig8_timeouts,
     format_table,
     run_suite,
+    scale_suite,
     suite_payload,
 )
 from repro.experiments.figures import (
@@ -79,6 +80,20 @@ def _add_control_plane(p: argparse.ArgumentParser) -> None:
              "fixed-period polling (legacy)")
 
 
+def _parse_scale_size(spec: str) -> tuple[int, int]:
+    """'250x10000' -> (250, 10000) for ``suite --ext-scale``."""
+    try:
+        sites_s, jobs_s = spec.lower().split("x")
+        sites, jobs = int(sites_s), int(jobs_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{spec!r} is not SITESxJOBS (e.g. 250x10000)")
+    if sites < 1 or jobs < 10:
+        raise argparse.ArgumentTypeError(
+            f"{spec!r}: need >= 1 site and >= 10 jobs")
+    return sites, jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--output", default="BENCH_SUITE.json",
         help="where to write the JSON report (default: BENCH_SUITE.json)")
+    suite.add_argument(
+        "--ext-scale", nargs="*", default=None, metavar="SITESxJOBS",
+        type=_parse_scale_size,
+        help="also run extreme-scale cases, e.g. --ext-scale 250x10000 "
+             "2500x100000 (synthetic catalog, batched background; "
+             "job counts shrink with --scale)")
     suite.add_argument(
         "--only", nargs="*", default=None, metavar="CASE",
         help="run only cases whose name starts with one of these "
@@ -170,6 +191,10 @@ def _run_suite_command(args) -> int:
         return 2
     cases = default_suite(scale=args.scale, seed=args.seed,
                           control_plane=args.control_plane)
+    if args.ext_scale:
+        cases += scale_suite(args.ext_scale, seed=args.seed,
+                             control_plane=args.control_plane,
+                             scale=args.scale)
     if args.only:
         cases = tuple(
             c for c in cases

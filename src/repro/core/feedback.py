@@ -32,6 +32,13 @@ class ReliabilityTracker:
             if table_name in warehouse
             else warehouse.create_table(table_name, _COLUMNS, key="site")
         )
+        #: sites currently failing the reliability rule, maintained
+        #: incrementally under every tally bump (a "verdict flip" is
+        #: O(1)) so the planner's per-job filter never touches the
+        #: table.  Seeding from the table covers recovery restores.
+        self._unreliable: set[str] = {
+            r["site"] for r in self._table if r["cancelled"] > r["completed"]
+        }
         self.obs = obs_mod.get(obs)
 
     # -- report ingestion (from the job tracker) -----------------------------------
@@ -43,38 +50,42 @@ class ReliabilityTracker:
 
     def _bump(self, site: str, column: str) -> None:
         obs = self.obs
-        was_reliable = self.is_reliable(site) if obs.enabled else True
-        row = self._table.get(site)
+        was_reliable = site not in self._unreliable
+        row = self._table.get(site, copy=False)
         if row is None:
             row = {"site": site, "completed": 0, "cancelled": 0}
             row[column] = 1
             self._table.insert(row)
+            row = self._table.get(site, copy=False)
         else:
             self._table.update(site, **{column: row[column] + 1})
+        if row["cancelled"] > row["completed"]:
+            self._unreliable.add(site)
+        else:
+            self._unreliable.discard(site)
         if obs.enabled:
             obs.metrics.counter("feedback.reports", kind=column).inc()
-            now_reliable = self.is_reliable(site)
+            now_reliable = site not in self._unreliable
             if now_reliable != was_reliable:
                 verdict = "reliable" if now_reliable else "unreliable"
                 obs.metrics.counter("feedback.verdict_flips", site=site).inc()
                 obs.tracer.instant(
                     f"feedback: {site} {verdict}",
                     component="feedback", site=site, verdict=verdict,
-                    completed=self.completed(site),
-                    cancelled=self.cancelled(site),
+                    completed=row["completed"],
+                    cancelled=row["cancelled"],
                 )
                 obs.metrics.gauge("feedback.unreliable_sites").set(
-                    sum(1 for r in self._table
-                        if r["cancelled"] > r["completed"])
+                    len(self._unreliable)
                 )
 
     # -- queries (what the planner asks) ----------------------------------------------
     def completed(self, site: str) -> int:
-        row = self._table.get(site)
+        row = self._table.get(site, copy=False)
         return row["completed"] if row else 0
 
     def cancelled(self, site: str) -> int:
-        row = self._table.get(site)
+        row = self._table.get(site, copy=False)
         return row["cancelled"] if row else 0
 
     def is_reliable(self, site: str) -> bool:
@@ -83,14 +94,14 @@ class ReliabilityTracker:
         A site with no history is reliable — new sites deserve a chance,
         and this is what makes the round-robin bootstrap work.
         """
-        row = self._table.get(site)
-        if row is None:
-            return True
-        return row["cancelled"] <= row["completed"]
+        return site not in self._unreliable
 
     def reliable_sites(self, sites: Iterable[str]) -> tuple[str, ...]:
         """Filter ``sites`` to the reliable ones, preserving order."""
-        return tuple(s for s in sites if self.is_reliable(s))
+        unreliable = self._unreliable
+        if not unreliable:
+            return tuple(sites)
+        return tuple(s for s in sites if s not in unreliable)
 
     def snapshot(self) -> dict[str, tuple[int, int]]:
         """site -> (completed, cancelled), for experiment reporting."""

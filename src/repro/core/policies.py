@@ -61,7 +61,7 @@ class PolicyEngine:
 
     # -- accounting -------------------------------------------------------------------
     def used(self, user: str, site: str, resource: str) -> float:
-        row = self._usage.get(f"{user}|{site}|{resource}")
+        row = self._usage.get(f"{user}|{site}|{resource}", copy=False)
         return row["used"] if row else 0.0
 
     def remaining(self, user: str, site: str, resource: str) -> float:
@@ -94,7 +94,7 @@ class PolicyEngine:
     def _add_usage(self, user: str, site: str, resource: str,
                    delta: float) -> None:
         key = f"{user}|{site}|{resource}"
-        row = self._usage.get(key)
+        row = self._usage.get(key, copy=False)
         if row is None:
             if delta < 0:
                 raise QuotaExceededError(

@@ -61,7 +61,7 @@ class CompletionTimeEstimator:
         """Ingest one tracker report."""
         if completion_time_s < 0:
             raise ValueError("completion time must be >= 0")
-        row = self._table.get(site)
+        row = self._table.get(site, copy=False)
         if row is None:
             self._table.insert(
                 {"site": site, "total_s": completion_time_s, "count": 1,
@@ -77,22 +77,22 @@ class CompletionTimeEstimator:
             )
 
     def has_data(self, site: str) -> bool:
-        return self._table.get(site) is not None
+        return self._table.get(site, copy=False) is not None
 
     def sample_count(self, site: str) -> int:
-        row = self._table.get(site)
+        row = self._table.get(site, copy=False)
         return row["count"] if row else 0
 
     def mean_s(self, site: str) -> Optional[float]:
         """The all-history running mean."""
-        row = self._table.get(site)
+        row = self._table.get(site, copy=False)
         if row is None:
             return None
         return row["total_s"] / row["count"]
 
     def ewma_s(self, site: str) -> Optional[float]:
         """The recency-weighted estimate."""
-        row = self._table.get(site)
+        row = self._table.get(site, copy=False)
         if row is None:
             return None
         return row["ewma_s"]

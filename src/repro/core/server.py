@@ -125,6 +125,14 @@ class ServerConfig:
     #: walltime margin applied to stage duration/readiness estimates
     #: when sizing reservation windows (> 1 absorbs estimator error).
     reservation_slack: float = 1.5
+    #: incremental site-view cache: keep one :class:`SiteView` per site
+    #: and invalidate O(1) on the transitions that can change it (a job
+    #: planned/started/finished/cancelled at the site, a completion
+    #: report feeding the estimator, a monitoring refresh) instead of
+    #: rebuilding every view from warehouse reads for every job
+    #: planned.  Decision-identical to full rebuild (property-tested);
+    #: the knob exists for that test and for bisecting, not for users.
+    view_cache: bool = True
 
 
 class SphinxServer:
@@ -215,6 +223,21 @@ class SphinxServer:
         self._site_active: dict[str, list[int]] = {
             s: [0, 0] for s in self.site_catalog
         }
+        #: candidate pool handed to the policy filter every plan; the
+        #: catalog is immutable for the server's lifetime, so one tuple
+        #: serves every job (``tuple(t)`` returns ``t`` unchanged, so
+        #: the quota-exempt fast path allocates nothing per job).
+        self._catalog_sites: tuple[str, ...] = tuple(self.site_catalog)
+        #: incremental site-view cache (``config.view_cache``): site ->
+        #: its current SiteView, plus the monitoring snapshot identity
+        #: it was built against.  Everything else a view reads is
+        #: invalidated explicitly at the mutation site (see
+        #: ``_invalidate_site_view`` callers); monitoring refreshes are
+        #: caught by snapshot identity on read, so the cache needs no
+        #: hook into the monitoring service.
+        self._use_view_cache = config.view_cache
+        self._view_cache: dict[str, SiteView] = {}
+        self._view_snap: dict[str, Any] = {}
         self._rebuild_site_counters()
         #: dag_ids whose ready set may have changed since the last
         #: planner pass (new RUNNING dag, job finished/cancelled, or a
@@ -399,6 +422,10 @@ class SphinxServer:
             self.feedback.record_completion(site)
             if completion_time_s is not None:
                 self.estimator.record(site, completion_time_s)
+                # avg/predicted completion just moved; the feedback
+                # tally above is *not* a view input (it filters the
+                # candidate list upstream), so only this needs it.
+                self._invalidate_site_view(site)
             if self.obs.enabled:
                 self._m_jobs_completed.inc()
                 # Successors become plannable now (the planner pops the
@@ -703,14 +730,13 @@ class SphinxServer:
         """Try to place one ready job; False means retry next tick."""
         job = dag.job(jrow["job_id"])
         user = drow["user"]
-        candidates = list(self.site_catalog)
-        candidates = list(
-            self.policy.feasible_sites(user, job.requirements, candidates)
+        candidates = self.policy.feasible_sites(
+            user, job.requirements, self._catalog_sites
         )
         feedback_dropped: list[str] = []
         if self.config.use_feedback:
             feasible = candidates
-            candidates = list(self.feedback.reliable_sites(candidates))
+            candidates = self.feedback.reliable_sites(candidates)
             if self._trace and len(candidates) != len(feasible):
                 kept = set(candidates)
                 feedback_dropped = [s for s in feasible if s not in kept]
@@ -1002,8 +1028,12 @@ class SphinxServer:
             ).add_callback(lambda e: e.defuse() if not e.ok else None)
 
     def _site_view(self, site: str) -> SiteView:
-        planned, unfinished = self._site_active[site]
         snap = self.monitoring.snapshot(site)
+        if self._use_view_cache:
+            view = self._view_cache.get(site)
+            if view is not None and self._view_snap[site] is snap:
+                return view
+        planned, unfinished = self._site_active[site]
         n_cpus = self.site_catalog[site]
         avg = self.estimator.average_s(site)
         predicted = None
@@ -1016,7 +1046,7 @@ class SphinxServer:
                 if self.config.use_prediction_correction
                 else avg
             )
-        return SiteView(
+        view = SiteView(
             name=site,
             n_cpus=n_cpus,
             planned_jobs=planned,
@@ -1026,6 +1056,14 @@ class SphinxServer:
             avg_completion_s=avg,
             predicted_completion_s=predicted,
         )
+        if self._use_view_cache:
+            self._view_cache[site] = view
+            self._view_snap[site] = snap
+        return view
+
+    def _invalidate_site_view(self, site: str) -> None:
+        """Drop one site's cached view (its inputs just changed)."""
+        self._view_cache.pop(site, None)
 
     # ---------------------------------------------------- virtual-data recovery
     def _regenerate_lost_inputs(self, dag_id: str, missing: list) -> None:
@@ -1066,6 +1104,9 @@ class SphinxServer:
         counters = self._site_active[site]
         counters[0] = max(counters[0] + planned, 0)
         counters[1] = max(counters[1] + running, 0)
+        # The view reads these counters (and the load-corrected
+        # prediction reads planned); O(1) invalidation per transition.
+        self._view_cache.pop(site, None)
 
     def _release_active(self, row: dict, site: str) -> None:
         """Drop a terminal job from the per-site active counters."""
@@ -1077,6 +1118,7 @@ class SphinxServer:
 
     def _rebuild_site_counters(self) -> None:
         """Reconstruct counters from the jobs table (recovery path)."""
+        self._view_cache.clear()
         for counters in self._site_active.values():
             counters[0] = counters[1] = 0
         for row in self.warehouse.table("jobs").select(

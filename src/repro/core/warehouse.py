@@ -30,6 +30,39 @@ class WarehouseError(RuntimeError):
     """Schema violations, duplicate keys, missing rows."""
 
 
+class _Bucket(dict):
+    """One equality-index bucket: an ordered set of primary keys.
+
+    A dict subclass so every existing consumer (membership, ``pop``,
+    iteration) keeps working, plus the two fields that make selects
+    O(k) with zero sorts in the common case:
+
+    * ``tail`` — the highest insertion sequence number ever appended
+      while the bucket was in order;
+    * ``dirty`` — True once an append broke insertion order (a row
+      *updated into* this bucket carries its original — possibly
+      older — sequence number).  Inserts always append the newest
+      sequence number and can never dirty a bucket; updates are what
+      break it.  A dirty bucket is re-sorted lazily, once, on the next
+      ordered read.
+    """
+
+    __slots__ = ("tail", "dirty")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tail = 0
+        self.dirty = False
+
+    def append(self, pk: Any, seq: int) -> None:
+        """Add ``pk`` (sequence ``seq``), tracking order violations."""
+        self[pk] = None
+        if seq >= self.tail:
+            self.tail = seq
+        else:
+            self.dirty = True
+
+
 class Table:
     """One relational table with a declared schema and primary key.
 
@@ -37,7 +70,10 @@ class Table:
     on the indexed column from a full scan into a bucket lookup; the
     control loop queries ``dags``/``jobs`` by state every tick, so the
     server indexes those columns.  Indexed or not, results come back in
-    table insertion order (the determinism contract).
+    table insertion order (the determinism contract).  Buckets are kept
+    in insertion order under mutation (see :class:`_Bucket`), so hot
+    selects iterate the bucket directly; only a bucket that an update
+    genuinely disordered pays a sort, once, on its next read.
     """
 
     def __init__(self, name: str, columns: Iterable[str], key: str):
@@ -47,11 +83,10 @@ class Table:
             raise WarehouseError(f"key {key!r} not among columns of {name!r}")
         self.key = key
         self._rows: dict[Any, dict[str, Any]] = {}
-        #: column -> value -> {pk: None}; the inner dict is used as an
-        #: ordered set (membership + cheap removal).
-        self._indexes: dict[str, dict[Any, dict[Any, None]]] = {}
-        #: pk -> insertion sequence number, so indexed selects can be
-        #: re-sorted into exact table insertion order.
+        #: column -> value -> ordered pk set (see :class:`_Bucket`).
+        self._indexes: dict[str, dict[Any, _Bucket]] = {}
+        #: pk -> insertion sequence number; orders re-sorts of dirty
+        #: buckets (and is the order inserts append in).
         self._row_seq: dict[Any, int] = {}
         self._seq = 0
 
@@ -64,10 +99,31 @@ class Table:
             )
         if column in self._indexes:
             return
-        idx: dict[Any, dict[Any, None]] = {}
+        idx: dict[Any, _Bucket] = {}
+        row_seq = self._row_seq
         for pk, row in self._rows.items():
-            idx.setdefault(row[column], {})[pk] = None
+            bucket = idx.get(row[column])
+            if bucket is None:
+                bucket = idx[row[column]] = _Bucket()
+            # _rows iterates in insertion order, so these appends are
+            # monotonic and every fresh bucket starts clean.
+            bucket.append(pk, row_seq[pk])
         self._indexes[column] = idx
+
+    def _ordered_bucket(self, idx: dict[Any, _Bucket],
+                        value: Any) -> Optional[_Bucket]:
+        """The bucket for ``value``, re-sorted into insertion order if
+        an update disordered it (the only time a sort happens)."""
+        bucket = idx.get(value)
+        if bucket is not None and bucket.dirty:
+            row_seq = self._row_seq
+            pks = sorted(bucket, key=row_seq.__getitem__)
+            bucket.clear()
+            for pk in pks:
+                bucket[pk] = None
+            bucket.tail = row_seq[pks[-1]] if pks else 0
+            bucket.dirty = False
+        return bucket
 
     # -- mutation -------------------------------------------------------------
     def insert(self, row: Mapping[str, Any]) -> None:
@@ -82,13 +138,14 @@ class Table:
             raise WarehouseError(f"{self.name}: duplicate key {k!r}")
         self._rows[k] = stored = dict(row)
         self._seq += 1
-        self._row_seq[k] = self._seq
+        seq = self._row_seq[k] = self._seq
         for col, idx in self._indexes.items():
             val = stored[col]
             bucket = idx.get(val)
             if bucket is None:
-                bucket = idx[val] = {}
-            bucket[k] = None
+                bucket = idx[val] = _Bucket()
+            # seq is the global maximum: an insert never dirties.
+            bucket.append(k, seq)
 
     def update(self, key: Any, **changes: Any) -> dict[str, Any]:
         row = self._rows.get(key)
@@ -108,8 +165,11 @@ class Table:
                         bucket.pop(key, None)
                     new_bucket = idx.get(new)
                     if new_bucket is None:
-                        new_bucket = idx[new] = {}
-                    new_bucket[key] = None
+                        new_bucket = idx[new] = _Bucket()
+                    # The row keeps its original insertion seq, which
+                    # may be older than the bucket's tail — the one way
+                    # a bucket goes dirty.
+                    new_bucket.append(key, self._row_seq[key])
         row.update(changes)
         return dict(row)
 
@@ -154,9 +214,11 @@ class Table:
         in insertion order (deterministic).
 
         When a ``where`` column is indexed the scan is driven off the
-        index bucket (re-sorted into insertion order) instead of the
-        whole table.  ``copy=False`` returns live row dicts (read-only
-        use only).
+        index bucket instead of the whole table.  Buckets stay in
+        insertion order under mutation, so the common select is O(k)
+        in the bucket size with zero sorts; only a bucket an update
+        disordered is sorted, once, here.  ``copy=False`` returns live
+        row dicts (read-only use only).
         """
         rows_src = None
         if where:
@@ -164,14 +226,11 @@ class Table:
                 idx = self._indexes.get(col)
                 if idx is None:
                     continue
-                bucket = idx.get(val)
+                bucket = self._ordered_bucket(idx, val)
                 if not bucket:
                     return []
-                row_seq = self._row_seq
                 rows = self._rows
-                rows_src = [
-                    rows[pk] for pk in sorted(bucket, key=row_seq.__getitem__)
-                ]
+                rows_src = [rows[pk] for pk in bucket]
                 if len(where) == 1:
                     where = None
                 else:
@@ -189,6 +248,21 @@ class Table:
         return out
 
     def count(self, where: Optional[Mapping[str, Any]] = None) -> int:
+        """Matching-row count.
+
+        Fast paths: no conditions is the table length; a single
+        condition on an indexed column is the bucket length — neither
+        materializes a row list (order is irrelevant to a count, so a
+        dirty bucket needs no sort either).
+        """
+        if not where:
+            return len(self._rows)
+        if len(where) == 1:
+            ((col, val),) = where.items()
+            idx = self._indexes.get(col)
+            if idx is not None:
+                bucket = idx.get(val)
+                return len(bucket) if bucket is not None else 0
         return len(self.select(where, copy=False))
 
     def __len__(self) -> int:

@@ -23,6 +23,8 @@ from repro.experiments.runner import ExperimentResult, ServerResult, run_scenari
 from repro.experiments.figures import (
     ext_reservation,
     ext_reservation_scenario,
+    ext_scale,
+    ext_scale_scenario,
     fig2_feedback,
     fig3_algorithms,
     fig5_pairwise,
@@ -36,6 +38,7 @@ from repro.experiments.parallel import (
     default_suite,
     headline_metrics,
     run_suite,
+    scale_suite,
     suite_payload,
 )
 from repro.experiments.report import format_table
@@ -52,6 +55,8 @@ __all__ = [
     "default_suite",
     "ext_reservation",
     "ext_reservation_scenario",
+    "ext_scale",
+    "ext_scale_scenario",
     "fig2_feedback",
     "fig3_algorithms",
     "fig5_pairwise",
@@ -62,5 +67,6 @@ __all__ = [
     "headline_metrics",
     "run_scenario",
     "run_suite",
+    "scale_suite",
     "suite_payload",
 ]

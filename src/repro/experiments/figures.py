@@ -42,6 +42,8 @@ __all__ = [
     "fig8_scenario",
     "ext_reservation",
     "ext_reservation_scenario",
+    "ext_scale",
+    "ext_scale_scenario",
     "ALGORITHM_LINEUP",
 ]
 
@@ -190,6 +192,41 @@ def ext_reservation_scenario(n_dags: int = 30, seed: int = 42,
     )
 
 
+def ext_scale_scenario(n_sites: int = 250, n_jobs: int = 10_000,
+                       seed: int = 42,
+                       horizon_s: float = 48 * 3600.0,
+                       control_plane: str = ControlPlaneMode.PUSH,
+                       background_batch_s: float = 300.0,
+                       ) -> Scenario:
+    """Extension: extreme-scale planning (``n_sites`` x ``n_jobs``).
+
+    A single completion-time server plans a ``n_jobs``-job campaign
+    over a synthetic catalog extrapolating the Grid3 shape to
+    ``n_sites`` sites (see :func:`repro.simgrid.grid.synthetic_sites`).
+    Faults are off and monitoring is slow (600 s) — the run measures
+    the *scheduling kernel*, not fault response: incremental site-view
+    scoring, the O(dirty) warehouse, and batched background arrivals
+    are what keep 2,500 x 10^5 runs tractable.
+    """
+    from repro.simgrid.grid import synthetic_sites
+
+    if n_jobs < 10:
+        raise ValueError("need at least 10 jobs (one DAG)")
+    return Scenario(
+        name=f"ext-scale-{n_sites}x{n_jobs}",
+        servers=(ServerSpec("completion-time", "completion-time"),),
+        n_dags=n_jobs // 10,
+        jobs_per_dag=10,
+        seed=seed,
+        sites=synthetic_sites(n_sites),
+        background_batch_s=background_batch_s,
+        fault_windows=(),
+        monitoring_interval_s=600.0,
+        horizon_s=horizon_s,
+        control_plane=control_plane,
+    )
+
+
 # -- drivers ---------------------------------------------------------------------
 def fig2_feedback(n_dags: int = 30, seed: int = 42,
                   horizon_s: float = 24 * 3600.0,
@@ -321,3 +358,21 @@ def ext_reservation(n_dags: int = 30, seed: int = 42,
     """
     return run_scenario(ext_reservation_scenario(n_dags, seed, horizon_s,
                                                  control_plane))
+
+
+def ext_scale(n_sites: int = 250, n_jobs: int = 10_000, seed: int = 42,
+              horizon_s: float = 48 * 3600.0,
+              control_plane: str = ControlPlaneMode.PUSH,
+              background_batch_s: float = 300.0) -> ExperimentResult:
+    """Extension: extreme-scale planning throughput.
+
+    Expected shape: the campaign finishes within the horizon and
+    ``event_count / wall-clock`` stays in the tens of thousands of
+    events per second up to 2,500 sites x 10^5 jobs (the acceptance
+    gate for the incremental-scoring + O(dirty) warehouse work; see
+    ``benchmarks/bench_scale.py``).
+    """
+    return run_scenario(ext_scale_scenario(
+        n_sites, n_jobs, seed, horizon_s, control_plane,
+        background_batch_s,
+    ))

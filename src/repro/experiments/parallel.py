@@ -33,6 +33,7 @@ from typing import Iterable, Optional, Sequence
 from repro import obs as obs_mod
 from repro.experiments.figures import (
     ext_reservation_scenario,
+    ext_scale_scenario,
     fig2_scenario,
     fig345_scenario,
     fig5_pair_scenario,
@@ -51,6 +52,7 @@ __all__ = [
     "SuiteCase",
     "SuiteRun",
     "default_suite",
+    "scale_suite",
     "run_suite",
     "headline_metrics",
     "planning_latency_percentiles",
@@ -156,6 +158,27 @@ def default_suite(scale: float = 1.0, seed: int = 42,
         ext_reservation_scenario(_scaled(30, scale), seed,
                                  control_plane=mode),
     ))
+    return tuple(cases)
+
+
+def scale_suite(sizes: Sequence[tuple[int, int]], seed: int = 42,
+                control_plane: str = ControlPlaneMode.PUSH,
+                scale: float = 1.0) -> tuple[SuiteCase, ...]:
+    """Extreme-scale cases: one ``ext-scale-SxJ`` per (sites, jobs).
+
+    ``scale`` shrinks the *job* counts (floor of 10 = one DAG); the
+    site counts are the point of the sweep and stay as requested.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    cases = []
+    for n_sites, n_jobs in sizes:
+        jobs = max(10, round(n_jobs * scale / 10) * 10)
+        cases.append(SuiteCase(
+            f"ext-scale-{n_sites}x{jobs}",
+            ext_scale_scenario(n_sites, jobs, seed,
+                               control_plane=control_plane),
+        ))
     return tuple(cases)
 
 

@@ -129,6 +129,7 @@ def _build_server(
         prediction_correction_strength=spec.prediction_correction_strength,
         reserve_ahead=spec.reserve_ahead,
         reservation_slack=spec.reservation_slack,
+        view_cache=spec.view_cache,
         checkpoint_interval_s=0.0,  # recovery is exercised separately
     )
     if chaos is not None:
@@ -175,7 +176,8 @@ def run_scenario(scenario: Scenario,
             env.obs_tally = {}
     rng = RngStreams(scenario.seed)
     grid = make_grid3(env, rng, sites=scenario.sites,
-                      background=scenario.background)
+                      background=scenario.background,
+                      background_batch_s=scenario.background_batch_s)
     grid.failures.schedule_windows(scenario.resolved_fault_windows())
     if obs.enabled:
         for site in grid:

@@ -72,6 +72,9 @@ class ServerSpec:
     #: reactive feedback); see ServerConfig.reserve_ahead.
     reserve_ahead: bool = False
     reservation_slack: float = 1.5
+    #: incremental site-view cache (decision-identical; off = rebuild
+    #: every view from scratch, the ablation/bisect knob).
+    view_cache: bool = True
 
 
 def default_fault_windows(horizon_s: float) -> tuple[DowntimeWindow, ...]:
@@ -102,6 +105,10 @@ class Scenario:
     seed: int = 42
     sites: tuple[SiteSpec, ...] = GRID3_SITES
     background: bool = True
+    #: 0 = legacy per-arrival background processes (bit-identical
+    #: default); > 0 = batched background arrivals on this interval,
+    #: the extreme-scale mode (one kernel event per site per interval).
+    background_batch_s: float = 0.0
     #: None = use default_fault_windows(horizon); () = fault-free.
     fault_windows: Optional[tuple[DowntimeWindow, ...]] = None
     monitoring_interval_s: float = 300.0
@@ -126,6 +133,8 @@ class Scenario:
             raise ValueError(f"duplicate server labels in {labels}")
         if self.n_dags < 1:
             raise ValueError("need at least one DAG")
+        if self.background_batch_s < 0:
+            raise ValueError("background_batch_s must be >= 0")
         if self.control_plane not in ControlPlaneMode.ALL:
             raise ValueError(
                 f"unknown control plane {self.control_plane!r} "

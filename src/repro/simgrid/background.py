@@ -51,6 +51,19 @@ class BackgroundLoad:
         with more number of CPUs might already be overloaded").
         ``surge_interval_s`` is the mean time between surges per site;
         0 disables them.
+    batch_interval_s:
+        0 (default) keeps the legacy per-arrival Poisson process: one
+        kernel event per background job, pinned bit-identical by the
+        golden regression test.  > 0 switches to **batched arrivals**:
+        one kernel event per interval draws the interval's arrival
+        count from the same Poisson law (``N ~ Poisson(lambda * dt)``,
+        lambda evaluated at the interval midpoint so the sinusoidal
+        modulation integrates correctly to first order) and submits
+        the whole batch at once.  At 2,500 sites the per-arrival
+        process dominates total event volume; batching trades
+        within-interval arrival jitter (bounded by the interval) for
+        an order-of-magnitude event reduction while preserving
+        per-site arrival counts and utilization in distribution.
     """
 
     def __init__(
@@ -66,6 +79,7 @@ class BackgroundLoad:
         surge_interval_s: float = 0.0,
         surge_jobs_factor: float = 1.5,
         surge_runtime_s: float = 1800.0,
+        batch_interval_s: float = 0.0,
     ):
         if not 0.0 <= target_utilization < 1.0:
             raise ValueError("target utilization must be in [0, 1)")
@@ -75,6 +89,8 @@ class BackgroundLoad:
             raise ValueError("modulation amplitude must be in [0, 1]")
         if surge_interval_s < 0 or surge_jobs_factor <= 0 or surge_runtime_s <= 0:
             raise ValueError("invalid surge parameters")
+        if batch_interval_s < 0:
+            raise ValueError("batch interval must be >= 0")
         self.env = env
         self.site = site
         self.target_utilization = target_utilization
@@ -85,6 +101,7 @@ class BackgroundLoad:
         self.surge_interval_s = surge_interval_s
         self.surge_jobs_factor = surge_jobs_factor
         self.surge_runtime_s = surge_runtime_s
+        self.batch_interval_s = batch_interval_s
         self.surges = 0
         self._rng = rng.stream(f"background-{site.name}")
         #: random phase so sites peak at different times — the grid's
@@ -102,17 +119,26 @@ class BackgroundLoad:
         """Begin generating load (idempotent)."""
         if self.target_utilization == 0.0 or self._proc is not None:
             return
-        self._proc = self.env.process(self._generate())
+        generate = (
+            self._generate_batched if self.batch_interval_s > 0
+            else self._generate
+        )
+        self._proc = self.env.process(generate())
         if self.surge_interval_s > 0:
             self.env.process(self._surge_loop())
 
     # -- internals --------------------------------------------------------------
-    def _rate_per_s(self) -> float:
-        """Instantaneous arrival rate lambda(t) in jobs/second."""
+    def _rate_per_s(self, at: Optional[float] = None) -> float:
+        """Instantaneous arrival rate lambda(t) in jobs/second.
+
+        ``at`` defaults to now; the batched generator evaluates at the
+        interval midpoint instead.
+        """
         base = self._base_rate
         if self.modulation_amplitude == 0.0:
             return base
-        phase = (2.0 * math.pi * self.env.now / self.modulation_period_s
+        t = self.env.now if at is None else at
+        phase = (2.0 * math.pi * t / self.modulation_period_s
                  + self._phase_offset)
         return base * (1.0 + self.modulation_amplitude * math.sin(phase))
 
@@ -151,6 +177,55 @@ class BackgroundLoad:
             except SiteUnavailableError:
                 continue
             self.submitted += 1
+
+    def _generate_batched(self):
+        """Batched arrivals: one kernel event per interval.
+
+        Each interval draws ``N ~ Poisson(lambda(mid) * dt)`` and
+        submits the batch at the interval boundary — identical arrival
+        counts in distribution, one event instead of N.  Runtime draws
+        use the same exponential law as the per-arrival path.
+        """
+        env = self.env
+        timeout = env.timeout
+        site = self.site
+        submit = site.submit
+        rng = self._rng
+        next_id = self._ids.__next__
+        prefix = f"bg.{site.name}."
+        mean_runtime = self.mean_runtime_s
+        priority = self.priority
+        modulated = self.modulation_amplitude != 0.0
+        base_rate = self._base_rate
+        interval = self.batch_interval_s
+        while True:
+            yield timeout(interval)
+            if site.state is SiteState.DOWN:
+                continue  # gatekeeper down; local users also locked out
+            rate = (
+                self._rate_per_s(env.now - interval / 2.0)
+                if modulated else base_rate
+            )
+            if rate <= 0:
+                continue
+            n = int(rng.poisson(rate * interval))
+            if n == 0:
+                continue
+            runtimes = rng.exponential(mean_runtime, size=n)
+            for runtime in runtimes:
+                runtime = float(runtime)
+                job_id = prefix + str(next_id())
+                try:
+                    submit(
+                        job_id,
+                        runtime_s=runtime if runtime > 1.0 else 1.0,
+                        owner="/VO=local/CN=background",
+                        priority=priority,
+                        detached=True,
+                    )
+                except SiteUnavailableError:
+                    break
+                self.submitted += 1
 
     def _surge_loop(self):
         while True:

@@ -21,7 +21,8 @@ from repro.simgrid.failures import FailureInjector
 from repro.simgrid.network import NetworkModel
 from repro.simgrid.site import GridSite
 
-__all__ = ["Grid", "SiteSpec", "GRID3_SITES", "make_grid3"]
+__all__ = ["Grid", "SiteSpec", "GRID3_SITES", "make_grid3",
+           "synthetic_sites"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,10 +75,41 @@ GRID3_SITES: tuple[SiteSpec, ...] = (
 )
 
 
+def synthetic_sites(n_sites: int, seed: int = 2025) -> tuple[SiteSpec, ...]:
+    """A deterministic synthetic catalog for extreme-scale runs.
+
+    Grid3 had 15 sites; open-science grids that followed it federated
+    thousands.  This generator extrapolates the Grid3 *shape* — CPU
+    counts spanning two orders of magnitude, overstated advertised
+    capacity, heterogeneous speeds and uplinks, background utilization
+    skewed toward the big centres — to ``n_sites`` sites, fully
+    determined by ``seed`` (its own numpy generator; grid/workload RNG
+    streams are untouched).
+    """
+    import numpy as np
+
+    if n_sites < 1:
+        raise ValueError("need at least one site")
+    rng = np.random.default_rng(seed)
+    specs = []
+    for i in range(n_sites):
+        n_cpus = int(rng.integers(8, 129))
+        specs.append(SiteSpec(
+            name=f"syn{i:04d}",
+            n_cpus=n_cpus,
+            advertised_cpus=int(n_cpus * rng.uniform(1.0, 2.0)),
+            perf_factor=float(rng.uniform(0.7, 1.6)),
+            uplink_mbps=float(rng.uniform(5.0, 60.0)),
+            background_utilization=float(rng.uniform(0.3, 0.9)),
+        ))
+    return tuple(specs)
+
+
 class Grid:
     """A named set of :class:`GridSite` plus network and failure plumbing."""
 
-    def __init__(self, env: Environment, rng: RngStreams):
+    def __init__(self, env: Environment, rng: RngStreams,
+                 background_batch_s: float = 0.0):
         self.env = env
         self.rng = rng
         self._sites: dict[str, GridSite] = {}
@@ -87,6 +119,10 @@ class Grid:
         self.network = NetworkModel(env)
         self.failures = FailureInjector(env, self._sites)
         self._background: dict[str, BackgroundLoad] = {}
+        #: 0 = legacy per-arrival background processes (bit-identical
+        #: default); > 0 = batched arrivals on this interval, the
+        #: extreme-scale mode (see BackgroundLoad.batch_interval_s).
+        self.background_batch_s = background_batch_s
 
     # -- construction ---------------------------------------------------------
     def add_site(self, spec: SiteSpec) -> GridSite:
@@ -115,6 +151,7 @@ class Grid:
                 surge_interval_s=6 * 3600.0,
                 surge_jobs_factor=1.0,
                 surge_runtime_s=1200.0,
+                batch_interval_s=self.background_batch_s,
             )
         return site
 
@@ -161,13 +198,17 @@ def make_grid3(
     sites: Iterable[SiteSpec] = GRID3_SITES,
     background: bool = True,
     background_overrides: Mapping[str, float] | None = None,
+    background_batch_s: float = 0.0,
 ) -> Grid:
     """Build the Grid3-like testbed.
 
     ``background_overrides`` maps site name -> target utilization,
     replacing the catalog values (used by scenario configs).
+    ``background_batch_s`` > 0 switches every site's background stream
+    to batched arrivals on that interval (extreme-scale runs); 0 keeps
+    the per-arrival legacy processes.
     """
-    grid = Grid(env, rng)
+    grid = Grid(env, rng, background_batch_s=background_batch_s)
     overrides = dict(background_overrides or {})
     for spec in sites:
         if spec.name in overrides:

@@ -1,0 +1,163 @@
+"""The incremental site-view cache must be decision-identical.
+
+Two layers of evidence:
+
+* unit: after every kind of state transition the cached view equals a
+  from-scratch rebuild (the cache path and the rebuild path are the
+  same ``_site_view`` body, so equality means the invalidation hooks
+  fired where they had to);
+* scenario: full runs with the cache on and off produce identical
+  deterministic results (event counts, completions, placements) in
+  both control-plane modes — the property the fig2 golden test pins
+  forever for the default configuration.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ServerConfig, SphinxServer
+from repro.core.serialize import dag_to_payload
+from repro.experiments import Scenario, ServerSpec, run_scenario
+from repro.experiments.parallel import headline_metrics
+from repro.services import MonitoringService, ReplicaService, RpcBus
+from repro.sim import Environment
+from repro.sim.rng import RngStreams
+from repro.simgrid import Grid
+from repro.simgrid.grid import SiteSpec
+from repro.workflow import Dag, Job, LogicalFile
+
+
+def _stack(n_sites=3, **config_kw):
+    env = Environment()
+    grid = Grid(env, RngStreams(0))
+    for i in range(n_sites):
+        grid.add_site(SiteSpec(f"s{i}", n_cpus=4,
+                               background_utilization=0.0,
+                               service_noise_sigma=0.0))
+    bus = RpcBus(env)
+    rls = ReplicaService(env, grid.site_names)
+    monitoring = MonitoringService(env, grid, update_interval_s=60.0)
+    config = ServerConfig(name="t", algorithm="round-robin", tick_s=1.0,
+                          **config_kw)
+    server = SphinxServer(env, bus, config,
+                          {s: 4 for s in grid.site_names}, monitoring, rls)
+    server.policy.grant_unlimited("/VO=v/CN=u")
+    return env, server
+
+
+def _dag(dag_id):
+    return Dag(dag_id, [
+        Job(f"{dag_id}.a", outputs=(LogicalFile(f"{dag_id}.a.out", 1.0),)),
+        Job(f"{dag_id}.b", inputs=(LogicalFile(f"{dag_id}.a.out", 1.0),)),
+    ])
+
+
+def _fresh_view(server, site):
+    """A from-scratch rebuild, bypassing the cache entirely."""
+    server._use_view_cache = False
+    try:
+        return server._site_view(site)
+    finally:
+        server._use_view_cache = True
+
+
+def _assert_views_match(server, grid_sites):
+    for site in grid_sites:
+        assert server._site_view(site) == _fresh_view(server, site), site
+
+
+def test_cache_hit_returns_same_object():
+    env, server = _stack()
+    v1 = server._site_view("s0")
+    assert server._site_view("s0") is v1
+
+
+def test_cache_invalidated_by_planning_transitions():
+    env, server = _stack()
+    sites = ("s0", "s1", "s2")
+    _assert_views_match(server, sites)
+    server._rpc_submit_dag("c0", "/VO=v/CN=u", dag_to_payload(_dag("d0")))
+    env.run(until=env.timeout(3.0))  # ticks plan the ready job
+    _assert_views_match(server, sites)
+    planned = server.warehouse.table("jobs").select({"state": "planned"})
+    assert planned, "expected the tick to plan a job"
+    # The planned counter moved on some site; its cached view must have
+    # been dropped, not served stale.
+    site = planned[0]["site"]
+    view = server._site_view(site)
+    assert view.planned_jobs >= 1
+    assert view == _fresh_view(server, site)
+
+
+def test_cache_invalidated_by_monitoring_refresh():
+    env, server = _stack()
+    before = server._site_view("s0")
+    assert before.monitored_queued is None  # nothing polled yet
+    env.run(until=env.timeout(61.0))  # one monitoring poll elapses
+    _assert_views_match(server, ("s0", "s1", "s2"))
+    # The snapshot identity check must have rebuilt against the new
+    # poll, not served the pre-poll view (whose monitored fields were
+    # still the no-data Nones).
+    assert server._view_snap["s0"] is server.monitoring.snapshot("s0")
+    assert server._site_view("s0").monitored_queued == 0
+
+
+def test_recovery_clears_cache():
+    env, server = _stack()
+    server._site_view("s0")
+    snap = server.warehouse.snapshot()
+    server.warehouse.restore(snap)
+    server._rebuild_site_counters()
+    assert not server._view_cache
+    _assert_views_match(server, ("s0", "s1", "s2"))
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 5),        # dag id to submit
+                  st.floats(0.5, 30.0)),    # then run this long
+        min_size=1, max_size=6,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_property_cached_views_equal_rebuild(ops):
+    """Across randomized submit/run interleavings (planning passes,
+    monitoring refreshes, estimator updates all fire at arbitrary
+    points), every cached view equals a full rebuild."""
+    env, server = _stack()
+    sites = ("s0", "s1", "s2")
+    seen = set()
+    for dag_n, run_s in ops:
+        if dag_n not in seen:
+            seen.add(dag_n)
+            server._rpc_submit_dag("c0", "/VO=v/CN=u",
+                                   dag_to_payload(_dag(f"d{dag_n}")))
+        env.run(until=env.timeout(run_s))
+        _assert_views_match(server, sites)
+
+
+@pytest.mark.parametrize("control_plane", ["push", "poll"])
+@pytest.mark.parametrize("seed", [7, 42])
+def test_scenario_identical_with_and_without_cache(control_plane, seed):
+    """End to end, both control planes: a full faulty-grid run (site
+    deaths, timeouts, feedback flips, background load) reaches exactly
+    the same result with the cache on and off."""
+    def run(view_cache):
+        scenario = Scenario(
+            name="cache-eqv",
+            servers=(
+                ServerSpec("ct", "completion-time", view_cache=view_cache),
+                ServerSpec("rr", "round-robin", view_cache=view_cache),
+            ),
+            n_dags=3,
+            seed=seed,
+            horizon_s=6 * 3600.0,
+            control_plane=control_plane,
+        )
+        result = run_scenario(scenario)
+        return result.event_count, result.rpc_count, \
+            headline_metrics(result), \
+            {label: s.jobs_per_site for label, s in result.servers.items()}
+
+    assert run(True) == run(False)

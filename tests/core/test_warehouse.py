@@ -223,3 +223,100 @@ def test_property_snapshot_restore_identity(rows):
     assert len(t2) == len(rows)
     for k, v in rows.items():
         assert t2.get(k) == {"k": k, "v": v}
+
+
+class TestIndexBucketOrder:
+    """The O(dirty) index contract: selects never re-sort a bucket that
+    mutation kept in insertion order, and a disordered bucket is fixed
+    exactly once."""
+
+    def table(self):
+        t = Table("jobs", ("job_id", "state", "site"), key="job_id")
+        t.ensure_index("state")
+        return t
+
+    def test_inserts_never_dirty(self):
+        t = self.table()
+        for i in range(20):
+            t.insert({"job_id": f"j{i}", "state": i % 3, "site": None})
+        assert all(
+            not bucket.dirty for bucket in t._indexes["state"].values()
+        )
+
+    def test_update_into_bucket_dirties_then_one_sort_cleans(self):
+        t = self.table()
+        for i in range(4):
+            t.insert({"job_id": f"j{i}", "state": "a", "site": None})
+        t.insert({"job_id": "late", "state": "b", "site": None})
+        # j1 moves to b carrying its old (smaller) seq: b goes dirty.
+        t.update("j1", state="b")
+        assert t._indexes["state"]["b"].dirty
+        got = [r["job_id"] for r in t.select({"state": "b"})]
+        assert got == ["j1", "late"]  # insertion order restored
+        assert not t._indexes["state"]["b"].dirty  # ...and sticks
+
+    def test_update_to_tail_keeps_bucket_clean(self):
+        t = self.table()
+        t.insert({"job_id": "j0", "state": "a", "site": None})
+        t.insert({"job_id": "j1", "state": "b", "site": None})
+        # j1 is the newest row: moving it anywhere appends at the tail.
+        t.update("j1", state="a")
+        assert not t._indexes["state"]["a"].dirty
+        assert [r["job_id"] for r in t.select({"state": "a"})] == ["j0", "j1"]
+
+    def test_count_fast_paths(self):
+        t = self.table()
+        for i in range(6):
+            t.insert({"job_id": f"j{i}", "state": i % 2,
+                      "site": "s" if i < 3 else None})
+        assert t.count() == 6
+        assert t.count({"state": 0}) == 3  # indexed: bucket length
+        assert t.count({"state": 99}) == 0  # absent bucket
+        assert t.count({"site": "s"}) == 3  # unindexed: scan
+        assert t.count({"state": 0, "site": "s"}) == 2  # multi: select
+
+    def test_count_on_dirty_bucket_skips_the_sort(self):
+        t = self.table()
+        for i in range(3):
+            t.insert({"job_id": f"j{i}", "state": "a", "site": None})
+        t.insert({"job_id": "late", "state": "b", "site": None})
+        t.update("j0", state="b")
+        assert t.count({"state": "b"}) == 2
+        assert t._indexes["state"]["b"].dirty  # count() needs no order
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete"]),
+            st.integers(0, 11),   # key space
+            st.integers(0, 3),    # indexed 'state' value space
+        ),
+        max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_indexed_select_order_and_count(ops):
+    """Indexed selects stay in insertion order and counts stay exact
+    under arbitrary insert/update/delete interleavings (a plain dict is
+    the reference: updates keep a row's position, delete + re-insert
+    moves it to the end — exactly the warehouse's seq semantics)."""
+    t = Table("jobs", ("job_id", "state", "site"), key="job_id")
+    t.ensure_index("state")
+    model = {}  # job_id -> state, in insertion order
+    for op, k, state in ops:
+        key = f"j{k}"
+        if op == "insert" and key not in model:
+            t.insert({"job_id": key, "state": state, "site": None})
+            model[key] = state
+        elif op == "update" and key in model:
+            t.update(key, state=state)
+            model[key] = state
+        elif op == "delete":
+            assert t.delete(key) == (key in model)
+            model.pop(key, None)
+    for state in range(4):
+        expect = [k for k, v in model.items() if v == state]
+        assert [r["job_id"] for r in t.select({"state": state})] == expect
+        assert t.count({"state": state}) == len(expect)
+    assert t.count() == len(model)
