@@ -23,6 +23,7 @@ scale 0.1.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro import obs as obs_mod
@@ -30,6 +31,7 @@ from repro.experiments import format_table
 from repro.experiments.figures import ext_scale_scenario
 from repro.experiments.parallel import planning_latency_percentiles
 from repro.experiments.runner import run_scenario
+from repro.obs.runtime import Heartbeat, rss_mb
 
 from benchmarks.common import SEED, emit, scale
 
@@ -42,13 +44,20 @@ def _scaled_jobs(n_jobs: int) -> int:
 
 
 def run() -> dict:
+    # REPRO_BENCH_PROGRESS=1 turns on live heartbeat lines per case —
+    # the minutes-long top case stops looking hung (stderr only; the
+    # heartbeat is strictly passive, so events/s are comparable either
+    # way).
+    progress = os.environ.get("REPRO_BENCH_PROGRESS", "") not in ("", "0")
     out = {}
     for n_sites, paper_jobs in SWEEP:
         n_jobs = _scaled_jobs(paper_jobs)
         scenario = ext_scale_scenario(n_sites, n_jobs, seed=SEED)
         obs = obs_mod.Obs(obs_mod.ObsConfig())
+        heartbeat = (Heartbeat(5.0, label=f"{n_sites}x{n_jobs}")
+                     if progress else None)
         t0 = time.perf_counter()
-        result = run_scenario(scenario, obs=obs)
+        result = run_scenario(scenario, obs=obs, heartbeat=heartbeat)
         wall = time.perf_counter() - t0
         lat_p50, lat_p95 = planning_latency_percentiles(
             obs.metrics.snapshot(include_samples=True)
@@ -64,6 +73,7 @@ def run() -> dict:
             "total_dags": server.total_dags,
             "planning_latency_p50_s": lat_p50,
             "planning_latency_p95_s": lat_p95,
+            "rss_mb": rss_mb(),
         }
     return out
 
@@ -83,10 +93,11 @@ def test_scale_sweep(benchmark):
             (f"{r['planning_latency_p95_s']:.3f}"
              if r["planning_latency_p95_s"] is not None else "-"),
             f"{r['finished_dags']}/{r['total_dags']}",
+            f"{r['rss_mb']:.0f}",
         ])
     emit("scale_sweep", format_table(
         ["sites x jobs", "wall (s)", "events", "events/s",
-         "plan p50 (s)", "plan p95 (s)", "dags"],
+         "plan p50 (s)", "plan p95 (s)", "dags", "rss (MB)"],
         rows,
         title=(f"Extreme-scale sweep, seed {SEED}, "
                f"scale {scale():g}"),

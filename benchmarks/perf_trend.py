@@ -6,7 +6,9 @@ compact per-case record (events/s, wall-clock, event count) to a
 compares against the most recent *comparable* previous entry — same
 scale and control plane, since events/s at 10% workload says nothing
 about full scale.  Exits 1 when any case's events/s throughput drops
-by more than the threshold (default 20%).
+by more than the threshold (default 20%) or its peak RSS grows by more
+than ``--rss-threshold`` (default 30%) — the memory axis the flight
+recorder exists to keep bounded.
 
 Markdown comparison lines go to stdout so CI can append them to the
 step summary::
@@ -36,6 +38,7 @@ __all__ = ["append_run", "compare", "main"]
 SCHEMA = "repro-bench-trend/v1"
 
 DEFAULT_THRESHOLD = 0.20
+DEFAULT_RSS_THRESHOLD = 0.30
 DEFAULT_MAX_ENTRIES = 100
 
 
@@ -51,6 +54,7 @@ def _entry_from_suite(suite: dict, timestamp: float) -> dict:
                 "events_per_s": fig.get("events_per_s"),
                 "wall_s": fig.get("wall_s"),
                 "event_count": fig.get("event_count"),
+                "rss_mb": fig.get("rss_mb"),
             }
             for name, fig in suite.get("figures", {}).items()
         },
@@ -64,24 +68,42 @@ def _comparable(entry: dict, other: dict) -> bool:
 
 def compare(entry: dict, previous: dict | None,
             threshold: float = DEFAULT_THRESHOLD,
+            rss_threshold: float = DEFAULT_RSS_THRESHOLD,
             ) -> tuple[list[str], list[str]]:
     """(markdown lines, regression descriptions) for one new entry.
 
     A case regresses when its events/s drops by more than ``threshold``
-    relative to the previous comparable run.  Cases new to the suite
-    (or with no throughput recorded on either side) are reported but
-    never fail the build.
+    or its peak RSS grows by more than ``rss_threshold`` relative to the
+    previous comparable run.  Cases new to the suite (or with the
+    relevant number missing on either side) are reported but never fail
+    the build.
     """
-    lines = ["| case | events/s | previous | delta |",
-             "|---|---:|---:|---:|"]
+    lines = ["| case | events/s | previous | delta | rss (MB) | delta |",
+             "|---|---:|---:|---:|---:|---:|"]
     regressions: list[str] = []
     prev_cases = previous["cases"] if previous else {}
     for name, case in sorted(entry["cases"].items()):
         now = case.get("events_per_s")
         before = prev_cases.get(name, {}).get("events_per_s")
+        rss_now = case.get("rss_mb")
+        rss_before = prev_cases.get(name, {}).get("rss_mb")
+        rss_cell, rss_delta_cell = "-", "-"
+        if rss_now:
+            rss_cell = f"{rss_now:.0f}"
+            if rss_before:
+                rss_delta = rss_now / rss_before - 1.0
+                rss_delta_cell = f"{rss_delta:+.1%}"
+                if rss_delta > rss_threshold:
+                    rss_delta_cell += " :warning:"
+                    regressions.append(
+                        f"{name}: {rss_now:.0f} MB RSS vs "
+                        f"{rss_before:.0f} MB ({rss_delta:+.1%}, "
+                        f"threshold +{rss_threshold:.0%})"
+                    )
         if now is None or before is None or before <= 0:
-            lines.append(f"| {name} | "
-                         f"{'-' if now is None else f'{now:.0f}'} | - | new |")
+            lines.append(
+                f"| {name} | {'-' if now is None else f'{now:.0f}'} | - "
+                f"| new | {rss_cell} | {rss_delta_cell} |")
             continue
         delta = now / before - 1.0
         flag = ""
@@ -92,12 +114,14 @@ def compare(entry: dict, previous: dict | None,
                 f"({delta:+.1%}, threshold -{threshold:.0%})"
             )
         lines.append(f"| {name} | {now:.0f} | {before:.0f} "
-                     f"| {delta:+.1%}{flag} |")
+                     f"| {delta:+.1%}{flag} | {rss_cell} "
+                     f"| {rss_delta_cell} |")
     return lines, regressions
 
 
 def append_run(suite: dict, trend: dict | None,
                threshold: float = DEFAULT_THRESHOLD,
+               rss_threshold: float = DEFAULT_RSS_THRESHOLD,
                max_entries: int = DEFAULT_MAX_ENTRIES,
                timestamp: float | None = None,
                ) -> tuple[dict, list[str], list[str]]:
@@ -116,7 +140,7 @@ def append_run(suite: dict, trend: dict | None,
         (e for e in reversed(trend["entries"]) if _comparable(entry, e)),
         None,
     )
-    lines, regressions = compare(entry, previous, threshold)
+    lines, regressions = compare(entry, previous, threshold, rss_threshold)
     entries = (trend["entries"] + [entry])[-max_entries:]
     return {"schema": SCHEMA, "entries": entries}, lines, regressions
 
@@ -133,12 +157,20 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_THRESHOLD,
                         help="fractional events/s drop that fails "
                              "(default: 0.20)")
+    parser.add_argument("--rss-threshold", type=float,
+                        default=DEFAULT_RSS_THRESHOLD,
+                        help="fractional peak-RSS growth that fails "
+                             "(default: 0.30)")
     parser.add_argument("--max-entries", type=int,
                         default=DEFAULT_MAX_ENTRIES,
                         help="history entries to keep (default: 100)")
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         print("perf_trend: --threshold must be in (0, 1)",
+              file=sys.stderr)
+        return 2
+    if args.rss_threshold <= 0:
+        print("perf_trend: --rss-threshold must be > 0",
               file=sys.stderr)
         return 2
 
@@ -149,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
 
     new_trend, lines, regressions = append_run(
         suite, trend, threshold=args.threshold,
+        rss_threshold=args.rss_threshold,
         max_entries=args.max_entries,
     )
     trend_path.write_text(json.dumps(new_trend, indent=2) + "\n")

@@ -8,7 +8,8 @@ Usage::
     python -m repro fig7
     python -m repro fig8
     python -m repro suite [--workers 4] [--scale 0.25] [--only fig2 ...]
-    python -m repro trace fig2 [--dags 4] [--out traces]
+    python -m repro suite --progress --stream-spans --reservoir 512 ...
+    python -m repro trace fig2 [--dags 4] [--out traces] [--stream]
     python -m repro list-algorithms
 
 Each figure command runs the corresponding experiment and prints the
@@ -134,6 +135,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, metavar="DIR",
         help="also collect spans per case and write per-case + merged "
              "trace artifacts into DIR")
+    suite.add_argument(
+        "--progress", action="store_true",
+        help="emit a live wall-clock heartbeat per case: stderr lines "
+             "plus <case>.heartbeat.jsonl under --trace-dir (progress, "
+             "events/s, RSS, stall detection)")
+    suite.add_argument(
+        "--progress-interval", type=float, default=5.0, metavar="S",
+        help="heartbeat period in wall seconds (default: 5)")
+    suite.add_argument(
+        "--stream-spans", action="store_true",
+        help="with --trace-dir: flush closed spans to the per-case "
+             "JSONL incrementally instead of retaining them in memory "
+             "(skips the Chrome trace, which needs the full span list)")
+    suite.add_argument(
+        "--reservoir", type=int, default=None, metavar="N",
+        help="bound every histogram to N samples (seeded reservoir + "
+             "mergeable quantile sketch; default: exact percentiles)")
     _add_control_plane(suite)
     trace = sub.add_parser(
         "trace", help="run one scenario fully instrumented; write "
@@ -148,6 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-interval", type=float, default=60.0, metavar="S",
         help="site telemetry sampling period in sim seconds "
              "(default: 60)")
+    trace.add_argument(
+        "--stream", action="store_true",
+        help="stream closed spans straight to the JSONL (bounded "
+             "tracer memory; skips the Chrome trace)")
+    trace.add_argument(
+        "--max-open", type=int, default=None, metavar="N",
+        help="with --stream: evict the oldest open span past N "
+             "(backstop against span leaks on huge runs)")
+    trace.add_argument(
+        "--reservoir", type=int, default=None, metavar="N",
+        help="bound every histogram to N samples (default: exact)")
     chaos = sub.add_parser(
         "chaos", help="run one scenario under a deterministic fault plan "
                       "and audit end-state invariants")
@@ -189,6 +218,17 @@ def _run_suite_command(args) -> int:
     if args.scale <= 0:
         print("repro suite: --scale must be > 0", file=sys.stderr)
         return 2
+    if args.stream_spans and not args.trace_dir:
+        print("repro suite: --stream-spans requires --trace-dir",
+              file=sys.stderr)
+        return 2
+    if args.progress_interval <= 0:
+        print("repro suite: --progress-interval must be > 0",
+              file=sys.stderr)
+        return 2
+    if args.reservoir is not None and args.reservoir < 1:
+        print("repro suite: --reservoir must be >= 1", file=sys.stderr)
+        return 2
     cases = default_suite(scale=args.scale, seed=args.seed,
                           control_plane=args.control_plane)
     if args.ext_scale:
@@ -204,7 +244,11 @@ def _run_suite_command(args) -> int:
             print(f"no suite cases match {args.only}", file=sys.stderr)
             return 2
     runs = run_suite(cases, workers=args.workers,
-                     trace_dir=args.trace_dir)
+                     trace_dir=args.trace_dir,
+                     stream_spans=args.stream_spans,
+                     reservoir=args.reservoir,
+                     progress_interval=(args.progress_interval
+                                        if args.progress else None))
     payload = suite_payload(runs, scale=args.scale, workers=args.workers,
                             control_plane=args.control_plane)
 
@@ -255,23 +299,43 @@ def _run_trace_command(args, horizon: float) -> int:
         print("repro trace: --telemetry-interval must be > 0",
               file=sys.stderr)
         return 2
+    if args.max_open is not None and not args.stream:
+        print("repro trace: --max-open requires --stream", file=sys.stderr)
+        return 2
+    if args.reservoir is not None and args.reservoir < 1:
+        print("repro trace: --reservoir must be >= 1", file=sys.stderr)
+        return 2
     scenario = TRACE_SCENARIOS[args.scenario](
         args.dags, args.seed, horizon_s=horizon,
         control_plane=args.control_plane,
     )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    sink = None
+    if args.stream:
+        from repro.obs.export import JsonlSpanSink
+
+        sink = JsonlSpanSink(out / f"{scenario.name}.spans.jsonl")
     obs = obs_mod.Obs(obs_mod.ObsConfig(
         spans=True, sample_sites=True,
         telemetry_interval_s=args.telemetry_interval,
+        histogram_max_samples=args.reservoir,
+        span_sink=sink, max_open_spans=args.max_open,
     ))
     result = run_scenario(scenario, obs=obs)
 
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
-    spans = obs.tracer.spans
-    write_spans_jsonl(spans, out / f"{scenario.name}.spans.jsonl")
-    write_chrome_trace(spans, out / f"{scenario.name}.trace.json",
-                       metrics=obs.metrics,
-                       clock_end_s=result.elapsed_sim_s)
+    wrote = ["spans.jsonl", "summary.md"]
+    if args.stream:
+        # Spans already went to the sink as they closed; the Chrome
+        # trace needs the full span list, so stream mode skips it.
+        spans = ()
+    else:
+        spans = obs.tracer.spans
+        write_spans_jsonl(spans, out / f"{scenario.name}.spans.jsonl")
+        write_chrome_trace(spans, out / f"{scenario.name}.trace.json",
+                           metrics=obs.metrics,
+                           clock_end_s=result.elapsed_sim_s)
+        wrote.insert(1, "trace.json")
     summary = summary_markdown(
         obs.metrics, spans,
         title=f"Trace summary: {scenario.name}",
@@ -282,7 +346,10 @@ def _run_trace_command(args, horizon: float) -> int:
     print(f"sim elapsed: {result.elapsed_sim_s:.0f} s, "
           f"kernel events: {result.event_count}, "
           f"rpc calls: {result.rpc_count}")
-    for suffix in ("spans.jsonl", "trace.json", "summary.md"):
+    if args.stream and obs.tracer.evicted:
+        print(f"note: {obs.tracer.evicted} open spans evicted by "
+              f"--max-open {args.max_open}", file=sys.stderr)
+    for suffix in wrote:
         print(f"wrote {out / f'{scenario.name}.{suffix}'}")
     return 0
 

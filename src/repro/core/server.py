@@ -167,6 +167,9 @@ class SphinxServer:
         #: passive, defaults to the shared no-op facade.
         self.obs = obs_mod.get(obs)
         self._trace = self.obs.tracer.enabled
+        #: wall-clock phase attribution (no-op facade when obs is off);
+        #: exclusive timers, so nested phases never double-count.
+        self._phases = self.obs.phases
         #: dag_id -> open root span; job_id -> open span of the current
         #: placement attempt (ended by the terminal report).
         self._dag_spans: dict[str, Any] = {}
@@ -421,7 +424,9 @@ class SphinxServer:
             )
             self.feedback.record_completion(site)
             if completion_time_s is not None:
+                self._phases.push("estimator")
                 self.estimator.record(site, completion_time_s)
+                self._phases.pop()
                 # avg/predicted completion just moved; the feedback
                 # tally above is *not* a view input (it filters the
                 # candidate list upstream), so only this needs it.
@@ -630,6 +635,7 @@ class SphinxServer:
     def _nearest_planned_at(self) -> Optional[float]:
         """Earliest planning instant among in-flight jobs (timeout and
         presumed-lost deadlines are both offsets from it)."""
+        self._phases.push("warehouse")
         jobs = self.warehouse.table("jobs")
         nearest = None
         for state in (_JOB_PLANNED, _JOB_SUBMITTED):
@@ -639,20 +645,28 @@ class SphinxServer:
                     continue
                 if nearest is None or planned_at < nearest:
                     nearest = planned_at
+        self._phases.pop()
         return nearest
 
     def tick(self) -> None:
         """One control-process pass (public for tests and recovery)."""
+        phases = self._phases
         self._m_passes.inc()
+        phases.push("planning")
         self._reduce_new_dags()
         if self.config.presume_lost_after_s is not None:
             self._requeue_lost_jobs()
         self._plan_ready_jobs()
+        phases.pop()
+        phases.push("transport")
         self._flush_outbox()
+        phases.pop()
 
     def checkpoint(self) -> None:
         """Snapshot the warehouse (the recovery point)."""
+        self._phases.push("warehouse")
         self.last_checkpoint = self.warehouse.snapshot()
+        self._phases.pop()
 
     # --------------------------------------------------------------- DAG reducer
     def _reduce_new_dags(self) -> None:
@@ -1035,6 +1049,7 @@ class SphinxServer:
                 return view
         planned, unfinished = self._site_active[site]
         n_cpus = self.site_catalog[site]
+        self._phases.push("estimator")
         avg = self.estimator.average_s(site)
         predicted = None
         if avg is not None:
@@ -1046,6 +1061,7 @@ class SphinxServer:
                 if self.config.use_prediction_correction
                 else avg
             )
+        self._phases.pop()
         view = SiteView(
             name=site,
             n_cpus=n_cpus,

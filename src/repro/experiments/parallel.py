@@ -58,6 +58,7 @@ __all__ = [
     "planning_latency_percentiles",
     "reservation_counts",
     "suite_payload",
+    "wall_breakdown_ms",
 ]
 
 #: BENCH_SUITE.json schema identifier; bump on breaking payload changes.
@@ -76,12 +77,19 @@ class SuiteCase:
 class SuiteRun:
     """One finished case: its result plus the worker-side wall-clock
     and the case's metrics-registry snapshot (with raw histogram
-    samples, so suite-level merges keep exact pooled percentiles)."""
+    samples, so suite-level merges keep exact pooled percentiles).
+
+    ``rss_mb`` is the worker's peak RSS when the case finished.  With
+    pooled workers that is a *process-lifetime* peak — a worker that
+    ran a big case first reports that high-water mark for every later
+    case too — so per-case attribution is exact only at ``workers=1``
+    (how the CI memory gate runs it)."""
 
     name: str
     result: ExperimentResult
     wall_s: float
     metrics: dict = field(default_factory=dict)
+    rss_mb: float = 0.0
 
 
 def _scaled(paper_n: int, scale: float, minimum: int = 4) -> int:
@@ -183,38 +191,72 @@ def scale_suite(sizes: Sequence[tuple[int, int]], seed: int = 42,
 
 
 def _run_case(case: SuiteCase,
-              trace_dir: Optional[str] = None) -> SuiteRun:
+              trace_dir: Optional[str] = None,
+              stream_spans: bool = False,
+              reservoir: Optional[int] = None,
+              progress_interval: Optional[float] = None) -> SuiteRun:
     """Worker entry point: run one case, time it (module-level: pickled
-    by name into the pool workers).
+    by name into the pool workers; every argument is a picklable
+    primitive — sinks and heartbeats are built *inside* the worker).
 
     Every case runs under a metrics-only observability facade (strictly
     passive: ``event_count`` and all scheduling metrics are untouched).
     With ``trace_dir`` set, spans are collected too and each worker
     writes its own ``<case>.spans.jsonl`` / ``<case>.trace.json`` pair
-    — span payloads never ride through pickling.
+    — span payloads never ride through pickling.  ``stream_spans``
+    flushes closed spans to the JSONL incrementally instead (tracer
+    memory stays at open-spans-only; the Chrome trace, which needs the
+    full span list, is skipped).  ``reservoir`` bounds every histogram
+    to that many samples.  ``progress_interval`` turns on the wall-clock
+    heartbeat: stderr lines plus ``<case>.heartbeat.jsonl`` under
+    ``trace_dir`` (when given).
     """
-    config = obs_mod.ObsConfig(spans=trace_dir is not None)
-    obs = obs_mod.Obs(config)
-    t0 = time.perf_counter()
-    result = run_scenario(case.scenario, obs=obs)
-    wall_s = time.perf_counter() - t0
-    if trace_dir is not None:
-        from repro.obs.export import write_chrome_trace, write_spans_jsonl
+    from repro.obs.export import JsonlSpanSink
+    from repro.obs.runtime import Heartbeat, rss_mb
 
+    out = None
+    if trace_dir is not None:
         out = Path(trace_dir)
         out.mkdir(parents=True, exist_ok=True)
+    sink = None
+    if stream_spans and out is not None:
+        sink = JsonlSpanSink(out / f"{case.name}.spans.jsonl")
+    config = obs_mod.ObsConfig(
+        spans=trace_dir is not None,
+        histogram_max_samples=reservoir,
+        span_sink=sink,
+    )
+    obs = obs_mod.Obs(config)
+    heartbeat = None
+    if progress_interval is not None:
+        heartbeat = Heartbeat(
+            progress_interval,
+            path=(out / f"{case.name}.heartbeat.jsonl"
+                  if out is not None else None),
+            label=case.name,
+        )
+    t0 = time.perf_counter()
+    result = run_scenario(case.scenario, obs=obs, heartbeat=heartbeat)
+    wall_s = time.perf_counter() - t0
+    if out is not None and not stream_spans:
+        from repro.obs.export import write_chrome_trace, write_spans_jsonl
+
         spans = obs.tracer.spans
         write_spans_jsonl(spans, out / f"{case.name}.spans.jsonl")
         write_chrome_trace(spans, out / f"{case.name}.trace.json",
                            metrics=obs.metrics,
                            clock_end_s=result.elapsed_sim_s)
     return SuiteRun(name=case.name, result=result, wall_s=wall_s,
-                    metrics=obs.metrics.snapshot(include_samples=True))
+                    metrics=obs.metrics.snapshot(include_samples=True),
+                    rss_mb=rss_mb())
 
 
 def run_suite(cases: Iterable[SuiteCase],
               workers: int = 1,
-              trace_dir: Optional[str] = None) -> list[SuiteRun]:
+              trace_dir: Optional[str] = None,
+              stream_spans: bool = False,
+              reservoir: Optional[int] = None,
+              progress_interval: Optional[float] = None) -> list[SuiteRun]:
     """Run every case; results come back in case order.
 
     ``workers=1`` runs in-process (no pool, no pickling); ``workers>1``
@@ -226,17 +268,27 @@ def run_suite(cases: Iterable[SuiteCase],
     (cases concatenated in case order — deterministic regardless of
     worker scheduling) and ``suite.metrics.json`` (snapshots folded
     with :func:`repro.obs.merge_snapshots`, same order).
+
+    Flight-recorder knobs (see :func:`_run_case`): ``stream_spans``
+    flushes spans incrementally (requires ``trace_dir``); ``reservoir``
+    bounds histogram memory; ``progress_interval`` emits a live
+    heartbeat per case.
     """
     cases = list(cases)
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if stream_spans and trace_dir is None:
+        raise ValueError("stream_spans requires trace_dir")
     if workers == 1 or len(cases) <= 1:
-        runs = [_run_case(c, trace_dir) for c in cases]
+        runs = [_run_case(c, trace_dir, stream_spans, reservoir,
+                          progress_interval) for c in cases]
     else:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(cases))
         ) as pool:
-            futures = [pool.submit(_run_case, c, trace_dir) for c in cases]
+            futures = [pool.submit(_run_case, c, trace_dir, stream_spans,
+                                   reservoir, progress_interval)
+                       for c in cases]
             # Submission order, not completion order: determinism.
             runs = [f.result() for f in futures]
     if trace_dir is not None:
@@ -321,6 +373,18 @@ def reservation_counts(snapshot: dict) -> dict:
     return out
 
 
+def wall_breakdown_ms(snapshot: dict) -> dict:
+    """Per-phase wall-clock attribution (``server.wall_ms`` counters)
+    in a metrics-registry snapshot; empty when the case ran without
+    obs-enabled phase timers."""
+    out = {}
+    for counter in snapshot.get("counters", ()):
+        if counter["name"] == "server.wall_ms":
+            phase = counter["labels"].get("phase", "?")
+            out[phase] = out.get(phase, 0.0) + counter["value"]
+    return out
+
+
 def suite_payload(runs: Sequence[SuiteRun], scale: float,
                   workers: int,
                   control_plane: str = ControlPlaneMode.PUSH) -> dict:
@@ -332,6 +396,8 @@ def suite_payload(runs: Sequence[SuiteRun], scale: float,
             "wall_s": run.wall_s,
             "events_per_s": (run.result.event_count / run.wall_s
                              if run.wall_s > 0 else None),
+            "rss_mb": run.rss_mb,
+            "wall_breakdown_ms": wall_breakdown_ms(run.metrics),
             "planning_latency_p50_s": lat_p50,
             "planning_latency_p95_s": lat_p95,
             "reservations": reservation_counts(run.metrics),

@@ -19,6 +19,7 @@ minutes".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -146,7 +147,8 @@ def _build_server(
 def run_scenario(scenario: Scenario,
                  env: Optional[Environment] = None,
                  obs=None,
-                 chaos=None) -> ExperimentResult:
+                 chaos=None,
+                 heartbeat=None) -> ExperimentResult:
     """Run one scenario to completion (or its horizon).
 
     The event-driven control plane runs on the lean kernel
@@ -163,6 +165,12 @@ def run_scenario(scenario: Scenario,
     run's bus, tunes server configs for survivability, and arms its
     fault drills before the run starts.  With a no-op plan the
     controller is inert and the run is bit-identical to ``chaos=None``.
+
+    ``heartbeat`` is an optional :class:`repro.obs.runtime.Heartbeat`:
+    the kernel's instrumented loop gives it a wall-clock cadence check
+    every few thousand events and it emits live progress records
+    (stderr + JSONL) plus stall flags.  Wall-clock only — a heartbeat
+    run's scheduling output is bit-identical to a bare one.
     """
     if env is None:
         env = Environment(lean=(scenario.control_plane == "push"))
@@ -171,9 +179,17 @@ def run_scenario(scenario: Scenario,
         obs.bind(env)
         if obs.tracer.enabled:
             # Span mode also tallies processed kernel events by type;
-            # the tallied loop replicates run() exactly, so event_count
-            # (and everything else) is unchanged.
+            # the instrumented loop replicates run() exactly, so
+            # event_count (and everything else) is unchanged.
             env.obs_tally = {}
+    if heartbeat is not None:
+        spec = scenario.workload_spec()
+        heartbeat.bind(
+            env, obs=obs,
+            total_jobs=(scenario.n_dags
+                        * getattr(spec, "jobs_per_dag", 0)
+                        * len(scenario.servers)) or None,
+        )
     rng = RngStreams(scenario.seed)
     grid = make_grid3(env, rng, sites=scenario.sites,
                       background=scenario.background,
@@ -261,10 +277,14 @@ def run_scenario(scenario: Scenario,
     if chaos is not None:
         chaos.install(env, grid, scenario)
     done_events = [c.done for c in clients.values()]
+    run_t0 = time.perf_counter()
     env.run(until=env.any_of(
         [env.all_of(done_events), env.timeout(scenario.horizon_s)]
     ))
+    run_wall_ms = (time.perf_counter() - run_t0) * 1e3
     all_done = all(ev.triggered for ev in done_events)
+    if heartbeat is not None:
+        heartbeat.finalize(env.now, env.event_count)
     if chaos is not None:
         # Crash drills replace server objects; the controller's dict
         # tracks the live incarnation of each label.
@@ -276,6 +296,16 @@ def run_scenario(scenario: Scenario,
                 obs.metrics.counter("kernel.events", type=etype).inc(n)
         obs.metrics.gauge("run.elapsed_sim_s").set(
             env.now if all_done else scenario.horizon_s
+        )
+        # Wall-clock attribution: per-phase totals from the exclusive
+        # phase timers, with the unattributed remainder (event
+        # dispatch, process switching, transfers...) booked to
+        # "kernel" so the breakdown sums to the run's real wall time.
+        phase_ms = obs.phases.wall_ms()
+        for phase, ms in sorted(phase_ms.items()):
+            obs.metrics.counter("server.wall_ms", phase=phase).inc(ms)
+        obs.metrics.counter("server.wall_ms", phase="kernel").inc(
+            max(0.0, run_wall_ms - sum(phase_ms.values()))
         )
         obs.tracer.close()
 

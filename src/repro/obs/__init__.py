@@ -21,24 +21,33 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
     merge_snapshots,
 )
+from repro.obs.runtime import NULL_PHASES, Heartbeat, PhaseTimers
+from repro.obs.sketch import QuantileSketch, Reservoir
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Obs",
     "ObsConfig",
     "NULL_OBS",
+    "NULL_PHASES",
     "NULL_SPAN",
     "NULL_TRACER",
     "NULL_REGISTRY",
+    "Heartbeat",
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
+    "PhaseTimers",
+    "QuantileSketch",
+    "Reservoir",
     "Span",
     "Tracer",
     "get",
@@ -57,22 +66,46 @@ class ObsConfig:
     telemetry.GridTelemetry` probe against the registry — the only
     collection mode that schedules kernel events (its sampler ticks),
     so it is off wherever event counts are compared.
+
+    Flight-recorder knobs (all strictly passive):
+
+    * ``histogram_max_samples`` — bound every histogram to a fixed-size
+      seeded reservoir + mergeable quantile sketch instead of raw
+      samples (``None`` keeps exact percentiles, the right default for
+      paper-figure runs);
+    * ``span_sink`` — stream closed spans to this sink (e.g. a
+      :class:`~repro.obs.export.JsonlSpanSink`) instead of retaining
+      them, keeping tracer memory at open-spans-only;
+    * ``max_open_spans`` — the streaming backstop: evict the oldest
+      open span past this population (requires ``span_sink``).
     """
 
     spans: bool = True
     sample_sites: bool = False
     telemetry_interval_s: float = 60.0
+    histogram_max_samples: Optional[int] = None
+    span_sink: Optional[object] = None
+    max_open_spans: Optional[int] = None
 
 
 class Obs:
-    """Tracer + metrics registry, handed through the whole stack."""
+    """Tracer + metrics registry + phase timers, handed through the
+    whole stack."""
 
     enabled = True
 
     def __init__(self, config: ObsConfig = ObsConfig()):
         self.config = config
-        self.tracer = Tracer() if config.spans else NULL_TRACER
-        self.metrics = MetricsRegistry()
+        if config.spans:
+            self.tracer = Tracer(sink=config.span_sink,
+                                 max_open=config.max_open_spans)
+        else:
+            self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry(
+            histogram_max_samples=config.histogram_max_samples)
+        #: wall-clock attribution (planning/estimator/rpc/...); the
+        #: runner exports the totals as ``server.wall_ms`` counters.
+        self.phases = PhaseTimers()
 
     def bind(self, env) -> None:
         """Late-bind the sim clock (drivers build Obs before the env)."""
@@ -88,6 +121,7 @@ class _NullObs:
     def __init__(self):
         self.tracer = NULL_TRACER
         self.metrics = NULL_REGISTRY
+        self.phases = NULL_PHASES
 
     def bind(self, env) -> None:
         pass

@@ -27,6 +27,7 @@ from repro.obs.tracer import Span
 __all__ = [
     "spans_to_jsonl",
     "write_spans_jsonl",
+    "JsonlSpanSink",
     "chrome_trace",
     "write_chrome_trace",
     "summary_markdown",
@@ -45,6 +46,43 @@ def spans_to_jsonl(spans: Iterable[Span]) -> str:
 def write_spans_jsonl(spans: Iterable[Span], path) -> None:
     with open(path, "w") as fh:
         fh.write(spans_to_jsonl(spans))
+
+
+class JsonlSpanSink:
+    """Streaming span sink: one JSONL line per span, written at close
+    time.
+
+    Wire into ``Tracer(sink=...)`` to keep span memory bounded: each
+    span is serialized and handed to the OS the moment it closes (or is
+    evicted), so a crash loses at most the buffered tail.  Lines land
+    in *close* order, not start order; span ids are fixed-width, so
+    ``sort`` by the ``span_id`` field recovers canonical start order.
+    """
+
+    def __init__(self, path, flush_every: int = 1000):
+        self._fh = open(path, "w")
+        self._flush_every = flush_every
+        self.path = path
+        self.written = 0
+
+    def write(self, span: Span) -> None:
+        if self._fh is None:
+            raise ValueError(f"span sink {self.path} is closed")
+        self._fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self.written += 1
+        if self._flush_every and self.written % self._flush_every == 0:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSpanSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class _Ids:
@@ -185,11 +223,24 @@ def summary_markdown(metrics: Optional[MetricsRegistry] = None,
         for h in snap["histograms"]:
             labels = ",".join(f"{k}={v}" for k, v in h["labels"].items())
             mean = h["sum"] / h["count"] if h["count"] else None
+            approx = " (approx)" if h.get("approx") else ""
             lines.append(
-                f"| {h['name']} | {labels or '-'} | {h['count']} "
+                f"| {h['name']}{approx} | {labels or '-'} | {h['count']} "
                 f"| {_fmt(mean)} | {_fmt(h['p50'])} | {_fmt(h['p95'])} "
                 f"| {_fmt(h['max'])} |"
             )
+        lines.append("")
+
+    # Wall-clock attribution: where the run's real time went (the
+    # ``server.wall_ms`` counters the runner writes at run end).
+    wall = [(c["labels"].get("phase", "?"), c["value"])
+            for c in snap["counters"] if c["name"] == "server.wall_ms"]
+    if wall:
+        total = sum(v for _p, v in wall) or 1.0
+        lines += ["### Wall-clock attribution", "",
+                  "| phase | ms | share |", "|---|---:|---:|"]
+        for phase, ms in sorted(wall, key=lambda pv: -pv[1]):
+            lines.append(f"| {phase} | {ms:.1f} | {ms / total:.1%} |")
         lines.append("")
 
     if spans:

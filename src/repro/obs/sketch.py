@@ -1,0 +1,201 @@
+"""Bounded-memory distribution summaries: reservoir + quantile sketch.
+
+Two complementary structures keep :class:`~repro.obs.metrics.Histogram`
+O(bounded) on arbitrarily long runs:
+
+* :class:`Reservoir` — a fixed-size uniform sample (Vitter's
+  Algorithm R) whose randomness comes from a private, seeded xorshift
+  stream: it never touches Python's global RNG or any simulation
+  stream, so enabling it cannot perturb a run, and the same observation
+  sequence always yields byte-identical contents.
+* :class:`QuantileSketch` — a DDSketch-style log-bucketed summary with
+  a relative-error guarantee.  Unlike a reservoir it is *mergeable*:
+  the merge of two sketches is exactly the sketch of the concatenated
+  streams, which is what suite-level snapshot folding needs
+  (per-worker histograms pooled without shipping raw samples).
+
+Both are pure Python dict/list work — no kernel events, no clock
+reads — preserving the strictly-passive observability contract.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["Reservoir", "QuantileSketch"]
+
+_U64 = (1 << 64) - 1
+
+
+class Reservoir:
+    """Fixed-capacity uniform sample of a stream (Algorithm R).
+
+    The replacement stream is a private xorshift64 generator seeded at
+    construction, so contents depend only on ``(seed, observation
+    sequence)`` — never on wall clock, global RNG state, or how often
+    anyone snapshots the reservoir.
+    """
+
+    __slots__ = ("capacity", "values", "n", "_state")
+
+    def __init__(self, capacity: int = 512, seed: int = 1):
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: the retained sample (insertion order is *not* stream order
+        #: once replacement starts; sort before comparing quantiles)
+        self.values: list[float] = []
+        #: total observations seen (>= len(values))
+        self.n = 0
+        self._state = (seed & _U64) or 0x9E3779B97F4A7C15
+
+    def _next(self) -> int:
+        x = self._state
+        x ^= (x << 13) & _U64
+        x ^= x >> 7
+        x ^= (x << 17) & _U64
+        self._state = x
+        return x
+
+    def observe(self, value: float) -> None:
+        self.n += 1
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+        else:
+            j = self._next() % self.n
+            if j < self.capacity:
+                self.values[j] = value
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class QuantileSketch:
+    """Mergeable quantile summary with bounded relative error.
+
+    Values are binned into geometric buckets ``gamma^i`` with
+    ``gamma = (1+e)/(1-e)``; a quantile answer is the representative of
+    the bucket holding that rank, within relative error ``e`` of the
+    true value.  Negative values get a mirrored bucket table; values in
+    ``(-min_value, min_value)`` collapse into a zero bucket.
+
+    Memory is O(log(max/min) / e): ~800 buckets cover nanoseconds to
+    days at 1% error, regardless of how many values are observed.
+    """
+
+    __slots__ = ("rel_err", "min_value", "_gamma_log", "pos", "neg",
+                 "zero_count", "count", "sum", "min", "max")
+
+    def __init__(self, rel_err: float = 0.01, min_value: float = 1e-9):
+        if not 0.0 < rel_err < 1.0:
+            raise ValueError(f"rel_err must be in (0, 1), got {rel_err}")
+        self.rel_err = rel_err
+        self.min_value = min_value
+        self._gamma_log = math.log((1.0 + rel_err) / (1.0 - rel_err))
+        self.pos: dict[int, int] = {}
+        self.neg: dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def _index(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._gamma_log)
+
+    def _representative(self, index: int) -> float:
+        # Midpoint of the bucket (gamma^(i-1), gamma^i] in log space:
+        # within rel_err of every value the bucket can hold.
+        gamma_i = math.exp(index * self._gamma_log)
+        gamma = math.exp(self._gamma_log)
+        return 2.0 * gamma_i / (gamma + 1.0)
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        if v > self.min_value:
+            i = self._index(v)
+            self.pos[i] = self.pos.get(i, 0) + 1
+        elif v < -self.min_value:
+            i = self._index(-v)
+            self.neg[i] = self.neg.get(i, 0) + 1
+        else:
+            self.zero_count += 1
+
+    def quantile(self, p: float) -> float:
+        """Nearest-rank quantile (``p`` in [0, 100]); NaN when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.count:
+            return float("nan")
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        # Ascending value order: negatives (largest magnitude first),
+        # the zero bucket, then positives (smallest bucket first).
+        seen = 0
+        for i in sorted(self.neg, reverse=True):
+            seen += self.neg[i]
+            if seen >= rank:
+                return -self._representative(i)
+        seen += self.zero_count
+        if seen >= rank:
+            return 0.0
+        for i in sorted(self.pos):
+            seen += self.pos[i]
+            if seen >= rank:
+                return self._representative(i)
+        # Rounding paranoia: fall back to the largest bucket.
+        return self._representative(max(self.pos)) if self.pos else 0.0
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` in; equivalent to observing its whole stream."""
+        if abs(other.rel_err - self.rel_err) > 1e-12:
+            raise ValueError(
+                f"cannot merge sketches with different rel_err "
+                f"({self.rel_err} vs {other.rel_err})"
+            )
+        for i, c in other.pos.items():
+            self.pos[i] = self.pos.get(i, 0) + c
+        for i, c in other.neg.items():
+            self.neg[i] = self.neg.get(i, 0) + c
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.sum += other.sum
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = getattr(other, bound)
+            if theirs is not None:
+                ours = getattr(self, bound)
+                setattr(self, bound,
+                        theirs if ours is None else pick(ours, theirs))
+
+    # -- JSON transport (snapshot merging across workers) ----------------
+    def to_dict(self) -> dict:
+        return {
+            "rel_err": self.rel_err,
+            "min_value": self.min_value,
+            "pos": {str(i): c for i, c in sorted(self.pos.items())},
+            "neg": {str(i): c for i, c in sorted(self.neg.items())},
+            "zero_count": self.zero_count,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantileSketch":
+        sketch = cls(rel_err=data["rel_err"],
+                     min_value=data.get("min_value", 1e-9))
+        sketch.pos = {int(i): c for i, c in data["pos"].items()}
+        sketch.neg = {int(i): c for i, c in data["neg"].items()}
+        sketch.zero_count = data["zero_count"]
+        sketch.count = data["count"]
+        sketch.sum = data["sum"]
+        sketch.min = data["min"]
+        sketch.max = data["max"]
+        return sketch

@@ -221,10 +221,15 @@ class RpcBus:
                     raise RpcFault(
                         f"proxy {proxy!r} not authorized for {service}"
                     )
-                _check_serializable(list(args), "args")
-                _check_serializable(dict(kwargs), "kwargs")
-                value = handler(*args, **kwargs)
-                _check_serializable(value, "result")
+                phases = obs.phases
+                phases.push("rpc")
+                try:
+                    _check_serializable(list(args), "args")
+                    _check_serializable(dict(kwargs), "kwargs")
+                    value = handler(*args, **kwargs)
+                    _check_serializable(value, "result")
+                finally:
+                    phases.pop()
             except RpcFault as fault:
                 self._m_faults.inc()
                 if lean:

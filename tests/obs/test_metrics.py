@@ -165,3 +165,151 @@ def test_null_registry_shares_inert_instruments():
     assert NULL_REGISTRY.find("anything") == []
     snap = NULL_REGISTRY.snapshot()
     assert all(v == [] for v in snap.values())
+
+
+def test_percentile_sort_is_cached_and_invalidated_on_observe():
+    h = MetricsRegistry().histogram("lat")
+    for v in (3.0, 1.0, 2.0):
+        h.observe(v)
+    assert h._sorted is None          # lazy: no sort until asked
+    assert h.percentile(50) == 2.0
+    first_sort = h._sorted
+    assert first_sort == [1.0, 2.0, 3.0]
+    assert h.percentile(95) == 3.0
+    assert h._sorted is first_sort    # p95 reused the p50 sort
+    h.observe(0.5)
+    assert h._sorted is None          # new sample invalidates the cache
+    assert h.percentile(50) == 1.0
+
+
+def test_merge_mixed_with_and_without_samples_degrades_cleanly():
+    # Regression for the complete=False path: one exact input with
+    # samples, one without — the pool cannot claim exact percentiles,
+    # but count/sum/min/max still aggregate.
+    m1, m2 = MetricsRegistry(), MetricsRegistry()
+    for v in (1.0, 2.0, 3.0):
+        m1.histogram("h").observe(v)
+    m2.histogram("h").observe(50.0)
+    merged = merge_snapshots([
+        m1.snapshot(include_samples=True),
+        m2.snapshot(),  # no samples -> pool incomplete
+    ])
+    (h,) = merged["histograms"]
+    assert h["count"] == 4 and h["sum"] == 56.0
+    assert (h["min"], h["max"]) == (1.0, 50.0)
+    assert h["p50"] is None and h["p95"] is None
+    # Order independence: sample-less input first degrades the same way.
+    merged = merge_snapshots([
+        m2.snapshot(),
+        m1.snapshot(include_samples=True),
+    ])
+    (h,) = merged["histograms"]
+    assert h["count"] == 4
+    assert h["p50"] is None and h["p95"] is None
+
+
+def test_merge_zero_count_sampleless_input_keeps_pool_exact():
+    # An *empty* histogram without samples must not poison the pool —
+    # there is nothing missing from it.
+    m1, m2 = MetricsRegistry(), MetricsRegistry()
+    for v in (1.0, 2.0, 3.0):
+        m1.histogram("h").observe(v)
+    m2.histogram("h")  # registered, never observed
+    merged = merge_snapshots([
+        m1.snapshot(include_samples=True),
+        m2.snapshot(),
+    ])
+    (h,) = merged["histograms"]
+    assert h["count"] == 3
+    assert h["p50"] == 2.0 and h["p95"] == 3.0
+
+
+def test_snapshot_gauge_nan_becomes_none():
+    m = MetricsRegistry()
+    m.gauge("bad").set(float("nan"))
+    m.gauge("good").set(1.0)
+    snap = m.snapshot()
+    by_name = {g["name"]: g["value"] for g in snap["gauges"]}
+    assert by_name == {"bad": None, "good": 1.0}
+    import json
+    assert "NaN" not in json.dumps(snap)
+
+
+def test_merge_carries_nan_free_gauges_through():
+    m = MetricsRegistry()
+    m.gauge("g").set(float("nan"))
+    merged = merge_snapshots([m.snapshot()])
+    assert merged["gauges"] == [{"name": "g", "labels": {}, "value": None}]
+
+
+def test_bounded_histogram_stays_bounded_with_exact_scalars():
+    m = MetricsRegistry(histogram_max_samples=16)
+    h = m.histogram("lat")
+    for v in range(1, 10_001):
+        h.observe(float(v))
+    assert h.bounded
+    assert len(h.samples) == 16           # reservoir capped
+    assert (h.count, h.sum) == (10_000, 50_005_000.0)  # scalars exact
+    assert (h.min, h.max) == (1.0, 10_000.0)
+    assert h.percentile(50) == pytest.approx(5000, rel=0.03)
+    with pytest.raises(ValueError):
+        h.samples = [1.0]  # merge plumbing must not bypass the bound
+
+
+def test_bounded_snapshot_is_marked_approx_with_sketch():
+    m = MetricsRegistry(histogram_max_samples=8)
+    for v in range(100):
+        m.histogram("lat").observe(float(v + 1))
+    (h,) = m.snapshot(include_samples=True)["histograms"]
+    assert h["approx"] is True
+    assert h["sketch"]["count"] == 100
+    assert len(h["samples"]) == 8  # the reservoir subsample, not raw
+
+
+def test_bounded_reservoirs_are_deterministic_per_instrument():
+    def fill():
+        m = MetricsRegistry(histogram_max_samples=8)
+        for v in range(1_000):
+            m.histogram("a").observe(float(v))
+            m.histogram("b").observe(float(v))
+        return (m.histogram("a").samples, m.histogram("b").samples)
+
+    a1, b1 = fill()
+    a2, b2 = fill()
+    assert (a1, b1) == (a2, b2)   # replayable
+    assert a1 != b1               # but streams are independent
+
+
+def test_merge_pools_bounded_histograms_via_sketches():
+    m1, m2 = MetricsRegistry(histogram_max_samples=8), \
+        MetricsRegistry(histogram_max_samples=8)
+    for v in range(1, 501):
+        m1.histogram("h").observe(float(v))
+    for v in range(501, 1001):
+        m2.histogram("h").observe(float(v))
+    merged = merge_snapshots([m1.snapshot(), m2.snapshot()])
+    (h,) = merged["histograms"]
+    assert h["approx"] is True
+    assert h["count"] == 1000 and (h["min"], h["max"]) == (1.0, 1000.0)
+    assert h["p50"] == pytest.approx(500, rel=0.03)
+    assert h["p95"] == pytest.approx(950, rel=0.03)
+
+
+def test_merge_folds_exact_inputs_into_a_sketch_pool_any_order():
+    # One exact worker, one bounded worker: the pool covers *every*
+    # observation approximately — regardless of input order.
+    def snapshots():
+        exact, bounded = MetricsRegistry(), \
+            MetricsRegistry(histogram_max_samples=8)
+        for v in range(1, 501):
+            exact.histogram("h").observe(float(v))
+        for v in range(501, 1001):
+            bounded.histogram("h").observe(float(v))
+        return exact.snapshot(include_samples=True), bounded.snapshot()
+
+    for order in (lambda e, b: [e, b], lambda e, b: [b, e]):
+        merged = merge_snapshots(order(*snapshots()))
+        (h,) = merged["histograms"]
+        assert h["approx"] is True and h["count"] == 1000
+        assert h["p50"] == pytest.approx(500, rel=0.03)
+        assert h["sketch"]["count"] == 1000  # exact samples folded in

@@ -89,3 +89,26 @@ def test_site_sampling_adds_only_sampler_events(baseline):
     assert scheduling_only(h) == scheduling_only(bare)
     assert h["event_count"] > bare["event_count"]
     assert obs.metrics.find("site.queue_depth")  # samples landed
+
+
+def test_full_flight_recorder_is_bit_identical(baseline, tmp_path):
+    # The heaviest collection mode there is: streaming span sink,
+    # bounded histograms, open-span backstop, *and* a wall-clock
+    # heartbeat driven from the kernel loop.  All of it is wall-clock
+    # or file I/O work — the simulation cannot observe any of it.
+    from repro.obs import Heartbeat
+    from repro.obs.export import JsonlSpanSink
+
+    mode, bare = baseline
+    sink = JsonlSpanSink(tmp_path / f"{mode}.spans.jsonl", flush_every=7)
+    obs = Obs(ObsConfig(spans=True, histogram_max_samples=32,
+                        span_sink=sink, max_open_spans=10_000))
+    hb = Heartbeat(path=tmp_path / f"{mode}.heartbeat.jsonl",
+                   stream=None, every_events=1500)
+    result = run_scenario(
+        fig2_scenario(N_DAGS, SEED, horizon_s=HORIZON_S,
+                      control_plane=mode),
+        obs=obs, heartbeat=hb)
+    assert headline(result) == bare
+    assert hb.records[-1]["final"] is True
+    assert hb.records[-1]["events"] == result.event_count

@@ -1,0 +1,132 @@
+"""Unit tests for the bounded-memory distribution summaries."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs import QuantileSketch, Reservoir
+
+
+# ------------------------------------------------------------------ reservoir
+def test_reservoir_keeps_everything_below_capacity():
+    r = Reservoir(capacity=10, seed=3)
+    for v in range(7):
+        r.observe(float(v))
+    assert r.values == [float(v) for v in range(7)]
+    assert (r.n, len(r)) == (7, 7)
+
+
+def test_reservoir_never_exceeds_capacity():
+    r = Reservoir(capacity=16, seed=3)
+    for v in range(10_000):
+        r.observe(float(v))
+    assert len(r) == 16
+    assert r.n == 10_000
+
+
+def test_reservoir_is_deterministic_per_seed_and_stream():
+    def fill(seed):
+        r = Reservoir(capacity=32, seed=seed)
+        for v in range(5_000):
+            r.observe(float(v))
+        return r.values
+
+    assert fill(7) == fill(7)  # byte-identical replay
+    assert fill(7) != fill(8)  # and the seed actually matters
+
+
+def test_reservoir_never_touches_global_rng():
+    random.seed(123)
+    before = random.getstate()
+    r = Reservoir(capacity=4, seed=1)
+    for v in range(1_000):
+        r.observe(float(v))
+    assert random.getstate() == before
+
+
+def test_reservoir_sample_is_roughly_uniform():
+    # Feed 0..9999; the retained sample's mean must sit near the stream
+    # mean (a hopelessly biased sampler, e.g. keep-first, would not).
+    r = Reservoir(capacity=256, seed=11)
+    for v in range(10_000):
+        r.observe(float(v))
+    mean = sum(r.values) / len(r.values)
+    assert 3_500 < mean < 6_500
+
+
+def test_reservoir_rejects_silly_capacity():
+    with pytest.raises(ValueError):
+        Reservoir(capacity=0)
+
+
+# --------------------------------------------------------------------- sketch
+def test_sketch_quantiles_within_relative_error():
+    sk = QuantileSketch(rel_err=0.01)
+    values = [1.0 + 0.01 * i for i in range(10_000)]  # 1.0 .. 100.99
+    for v in values:
+        sk.observe(v)
+    values.sort()
+    for p in (1, 25, 50, 75, 95, 99):
+        exact = values[max(1, -(-p * len(values) // 100)) - 1]
+        assert abs(sk.quantile(p) - exact) <= 0.011 * exact
+
+
+def test_sketch_handles_negative_and_zero_values():
+    sk = QuantileSketch(rel_err=0.01)
+    for v in (-100.0, -1.0, 0.0, 1.0, 100.0):
+        sk.observe(v)
+    assert sk.quantile(10) == pytest.approx(-100.0, rel=0.02)
+    assert sk.quantile(50) == 0.0
+    assert sk.quantile(100) == pytest.approx(100.0, rel=0.02)
+    assert (sk.min, sk.max) == (-100.0, 100.0)
+
+
+def test_sketch_empty_is_nan():
+    sk = QuantileSketch()
+    assert sk.quantile(50) != sk.quantile(50)
+    with pytest.raises(ValueError):
+        sk.quantile(-1)
+
+
+def test_sketch_merge_equals_sketch_of_concatenation():
+    a, b, both = (QuantileSketch(rel_err=0.02) for _ in range(3))
+    stream_a = [float(v) for v in range(1, 500)]
+    stream_b = [float(v) for v in range(400, 1500)]
+    for v in stream_a:
+        a.observe(v)
+        both.observe(v)
+    for v in stream_b:
+        b.observe(v)
+        both.observe(v)
+    a.merge(b)
+    assert a.pos == both.pos
+    assert a.count == both.count
+    assert a.sum == both.sum
+    for p in (5, 50, 95):
+        assert a.quantile(p) == both.quantile(p)
+
+
+def test_sketch_merge_rejects_mismatched_rel_err():
+    with pytest.raises(ValueError):
+        QuantileSketch(rel_err=0.01).merge(QuantileSketch(rel_err=0.05))
+
+
+def test_sketch_json_round_trip_is_lossless():
+    sk = QuantileSketch(rel_err=0.01)
+    for v in (-3.0, 0.0, 1.5, 2.5, 1e6):
+        sk.observe(v)
+    wire = json.loads(json.dumps(sk.to_dict()))  # through real JSON
+    back = QuantileSketch.from_dict(wire)
+    assert back.to_dict() == sk.to_dict()
+    for p in (10, 50, 90):
+        assert back.quantile(p) == sk.quantile(p)
+
+
+def test_sketch_memory_is_bounded_by_range_not_count():
+    sk = QuantileSketch(rel_err=0.01)
+    for i in range(100_000):
+        sk.observe(1.0 + (i % 1000) * 0.1)  # 1.0 .. 100.9 forever
+    assert sk.count == 100_000
+    # ~log(100)/log(gamma) buckets, nowhere near the observation count.
+    assert len(sk.pos) < 300

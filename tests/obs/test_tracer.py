@@ -52,12 +52,35 @@ def test_span_timestamps_follow_sim_clock():
     assert not span.open
 
 
-def test_double_end_is_an_error():
+def test_double_end_is_idempotent_first_close_wins():
+    # Chaos drills close spans on the crash path and again on the
+    # normal path; the second close must neither raise nor overwrite.
+    env = Environment()
+    tracer = bound_tracer(env)
+
+    def proc(env):
+        span = tracer.start_span("once")
+        yield env.timeout(1.0)
+        tracer.end_span(span, "ok")
+        yield env.timeout(1.0)
+        tracer.end_span(span, "late-duplicate")
+
+    env.process(proc(env))
+    env.run()
+    (span,) = tracer.spans
+    assert (span.end, span.status) == (1.0, "ok")
+
+
+def test_span_ids_are_fixed_width_and_sortable_past_a_million():
     tracer = bound_tracer()
-    span = tracer.start_span("once")
-    tracer.end_span(span)
-    with pytest.raises(RuntimeError):
-        tracer.end_span(span)
+    ids = [tracer.start_span(f"s{i}").span_id for i in range(3)]
+    assert all(len(i) == len("s") + 12 for i in ids)
+    assert ids == sorted(ids)
+    # The width holds far past the old s%06d ceiling.
+    tracer._ids = iter(range(1_000_000, 1_000_002))
+    wide = tracer.start_span("big").span_id
+    assert len(wide) == len(ids[0])
+    assert wide > ids[-1]
 
 
 def test_events_are_stamped_inside_the_span():
