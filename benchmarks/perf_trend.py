@@ -48,6 +48,7 @@ def _entry_from_suite(suite: dict, timestamp: float) -> dict:
         "timestamp": timestamp,
         "scale": suite.get("scale"),
         "control_plane": suite.get("control_plane", "push"),
+        "shards": suite.get("shards", []),
         "workers": suite.get("workers"),
         "cases": {
             name: {
@@ -62,8 +63,12 @@ def _entry_from_suite(suite: dict, timestamp: float) -> dict:
 
 
 def _comparable(entry: dict, other: dict) -> bool:
+    # Shard counts change the per-case workloads (federated cases only
+    # exist with --shards), so runs with different --shards sets are
+    # different experiments, not a trend.
     return (entry.get("scale") == other.get("scale")
-            and entry.get("control_plane") == other.get("control_plane"))
+            and entry.get("control_plane") == other.get("control_plane")
+            and entry.get("shards", []) == other.get("shards", []))
 
 
 def compare(entry: dict, previous: dict | None,

@@ -82,14 +82,23 @@ class ChaosController:
                 window = config.job_timeout_s + 900.0
             config.presume_lost_after_s = window
 
-    def register(self, label: str, server, client,
-                 reconfigure: Callable) -> None:
+    def register(self, label: str, server=None, client=None,
+                 reconfigure: Optional[Callable] = None) -> None:
         """One server/client pair + the closure that re-applies its
         policy grants to a recovered replacement (grants live outside
-        the warehouse, like the paper's policy config file)."""
-        self.servers[label] = server
-        self.clients[label] = client
-        self._reconfigure[label] = reconfigure
+        the warehouse, like the paper's policy config file).
+
+        Federated runs register shard servers and user clients under
+        disjoint labels (a shard has no single client, a user has no
+        server), so either side may be None — a crash spec with no
+        explicit label then targets only the populated side."""
+        if server is not None:
+            self.servers[label] = server
+            self._reconfigure[label] = (
+                reconfigure if reconfigure is not None else lambda _s: None
+            )
+        if client is not None:
+            self.clients[label] = client
 
     def install(self, env, grid, scenario) -> None:
         """Arm the drills; called once, before the run starts."""
@@ -158,6 +167,7 @@ class ChaosController:
                     self.env, self.bus, old.config, old.site_catalog,
                     old.monitoring, old.rls, old.last_checkpoint,
                     obs=self.obs if self.obs.enabled else None,
+                    server_cls=type(old),
                 )
                 self._reconfigure[label](replacement)
                 self.servers[label] = replacement

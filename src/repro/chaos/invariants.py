@@ -104,12 +104,15 @@ _CHECKS = (
     "outbox-drained",
     "reservation-conservation",
     "obs-consistency",
+    "fed-dag-routed",
+    "fed-lease-conservation",
 )
 
 
 def check_invariants(servers: dict, clients: dict, bus, scenario,
                      regen_slack: dict | None = None,
-                     obs=None, grid=None) -> InvariantReport:
+                     obs=None, grid=None,
+                     federation=None) -> InvariantReport:
     """Audit the end state of a run; see the module docstring.
 
     ``regen_slack`` maps server label -> cumulative virtual-data
@@ -124,6 +127,20 @@ def check_invariants(servers: dict, clients: dict, bus, scenario,
     still be live, and the resource's occupied-slot count must equal
     running jobs plus live held slots — a site outage that failed to
     release a confirmed reservation's holds shows up here as a leak.
+
+    ``federation`` (a :class:`repro.federation.runner.FederationRun`,
+    duck-typed — this module never imports federation) switches on the
+    cross-shard audits.  ``servers`` are then the shard incarnations
+    and ``clients`` the per-user clients (labels disjoint, so the
+    per-server pairing checks above skip themselves):
+
+    * **fed-dag-routed** — every DAG a user submitted sits in exactly
+      one shard warehouse (meta→shard handoff lost nothing, and
+      re-homing never double-placed), every meta admission ended
+      acknowledged, and a shard-FINISHED dag reached its client;
+    * **fed-lease-conservation** — for every (user, site, resource)
+      the shards' leases plus debits whose credit never landed sum to
+      the global grant: lease transfers move quota, never mint it.
     """
     out: list[Violation] = []
     stats: dict = {"servers": len(servers)}
@@ -287,6 +304,88 @@ def check_invariants(servers: dict, clients: dict, bus, scenario,
                 out.append(Violation(
                     "reservation-conservation", "*", site.name, problem,
                 ))
+
+    # -- federation: routing + lease conservation --------------------------
+    if federation is not None:
+        placement: dict[str, list[str]] = {}
+        for label in sorted(servers):
+            for row in servers[label].warehouse.table("dags").select(
+                copy=False
+            ):
+                placement.setdefault(row["dag_id"], []).append(label)
+        for dag_id in sorted(federation.meta.unacked()):
+            out.append(Violation(
+                "fed-dag-routed", "meta", dag_id,
+                "admitted but never acknowledged by any shard",
+            ))
+        for ulabel in sorted(clients):
+            client = clients[ulabel]
+            for dag_id in sorted(client.dag_times):
+                homes = placement.get(dag_id, [])
+                if not homes:
+                    out.append(Violation(
+                        "fed-dag-routed", "meta", dag_id,
+                        f"submitted by {ulabel} but absent from every "
+                        "shard warehouse",
+                    ))
+                    continue
+                if len(homes) > 1:
+                    out.append(Violation(
+                        "fed-dag-routed", "meta", dag_id,
+                        "placed on multiple shards: "
+                        + ", ".join(homes),
+                    ))
+                    continue
+                shard = homes[0]
+                drow = servers[shard].warehouse.table("dags").get(
+                    dag_id, copy=False
+                )
+                if drow["state"] == _DAG_FINISHED:
+                    times = client.dag_times.get(dag_id)
+                    if times is None or times[1] is None:
+                        out.append(Violation(
+                            "client-notified", shard, dag_id,
+                            "shard finished the dag; the client was "
+                            "never notified",
+                        ))
+        stats["fed_rehomed"] = federation.meta.rehomed_count
+        stats["fed_spilled"] = federation.meta.spilled_count
+
+        if scenario.quota_per_site is not None:
+            landed: set[str] = set()
+            ledgers = []
+            for label in sorted(servers):
+                ledger = getattr(servers[label], "ledger", None)
+                if ledger is None:
+                    continue
+                ledgers.append(ledger)
+                for row in ledger.credits.select(copy=False):
+                    landed.add(row["transfer_id"])
+            totals: dict[str, float] = {}
+            for ledger in ledgers:
+                for row in ledger.leases.select(copy=False):
+                    totals[row["key"]] = (
+                        totals.get(row["key"], 0.0) + row["amount"]
+                    )
+                # A debit whose credit never landed is quota burned,
+                # not quota lost from the books: it still counts
+                # toward the conserved total.
+                for row in ledger.debits.select(copy=False):
+                    if row["transfer_id"] not in landed:
+                        totals[row["key"]] = (
+                            totals.get(row["key"], 0.0) + row["amount"]
+                        )
+            for key in sorted(totals):
+                resource = key.rsplit("|", 1)[1]
+                want = scenario.quota_per_site.get(resource)
+                if want is None:
+                    continue
+                if abs(totals[key] - want) > 1e-6:
+                    out.append(Violation(
+                        "fed-lease-conservation", "*", key,
+                        f"shard leases + unmatched debits sum to "
+                        f"{totals[key]:.6f}, grant is {want:.6f}",
+                    ))
 
     # -- obs self-consistency ---------------------------------------------
     if obs is not None and obs.enabled and bus is not None:

@@ -301,6 +301,28 @@ def _reservation_outage(seed: int) -> ChaosPlan:
     )
 
 
+def _shard_outage(seed: int) -> ChaosPlan:
+    """Kill one federation shard long enough to force re-homing.
+
+    The down window (900s) exceeds the federation's default re-home
+    grace (600s), so DAGs admitted while ``shard0`` is dark — routed to
+    it anyway, because homes own transient outages — wait out the
+    grace and get re-homed to a live peer; DAGs shard0 had already
+    acknowledged stay put and resume from its checkpoint on recovery.
+    The federation invariants then audit both halves: nothing lost,
+    nothing double-placed, leases conserved across the crash.
+    """
+    return ChaosPlan(
+        name="shard-outage",
+        seed=seed,
+        crashes=(
+            CrashSpec(component="server", at_s=1500.0, down_s=900.0,
+                      label="shard0"),
+        ),
+        checkpoint_interval_s=120.0,
+    )
+
+
 PRESET_PLANS = {
     "lossy": _lossy,
     "partition": _partition,
@@ -308,6 +330,7 @@ PRESET_PLANS = {
     "full": _full,
     "sites": _sites,
     "reservation-outage": _reservation_outage,
+    "shard-outage": _shard_outage,
 }
 
 

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 from repro.core.algorithms import available_algorithms
 from repro.experiments import (
     default_suite,
+    federation_suite,
     fig2_feedback,
     fig3_algorithms,
     fig6_site_distribution,
@@ -128,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
              "2500x100000 (synthetic catalog, batched background; "
              "job counts shrink with --scale)")
     suite.add_argument(
+        "--shards", nargs="*", default=None, metavar="N", type=int,
+        help="also run federated cases, e.g. --shards 3 10: a "
+             "meta-scheduler routing DAGs over N peer SPHINX shards "
+             "(per-shard planning-latency percentiles land in the "
+             "report's 'shards' section)")
+    suite.add_argument(
         "--only", nargs="*", default=None, metavar="CASE",
         help="run only cases whose name starts with one of these "
              "(e.g. fig2 fig5 ablation)")
@@ -180,13 +187,24 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="run one scenario under a deterministic fault plan "
                       "and audit end-state invariants")
-    chaos.add_argument("scenario", choices=sorted(TRACE_SCENARIOS),
-                       help="which figure scenario to torment")
+    chaos.add_argument("scenario",
+                       choices=sorted(TRACE_SCENARIOS) + ["ext-federation"],
+                       help="which figure scenario to torment "
+                            "(ext-federation: meta + N shards; --dags "
+                            "becomes DAGs per user)")
     _add_common(chaos, 4)
     chaos.add_argument(
         "--plan", default="full", metavar="PLAN",
         help="preset plan name (see repro.chaos.PRESET_PLANS) or "
              "'random' for a seeded random plan (default: full)")
+    chaos.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="ext-federation only: number of peer shards (default: 3)")
+    chaos.add_argument(
+        "--submit-interval", type=float, default=300.0, metavar="S",
+        help="ext-federation only: stagger DAG submissions this many "
+             "sim seconds apart so admissions overlap fault windows "
+             "(default: 300; 0 = submit everything at t=0)")
     chaos.add_argument(
         "--plan-seed", type=int, default=None, metavar="N",
         help="seed for the fault schedule (default: --seed)")
@@ -229,12 +247,18 @@ def _run_suite_command(args) -> int:
     if args.reservoir is not None and args.reservoir < 1:
         print("repro suite: --reservoir must be >= 1", file=sys.stderr)
         return 2
+    if args.shards and any(n < 1 for n in args.shards):
+        print("repro suite: --shards values must be >= 1", file=sys.stderr)
+        return 2
     cases = default_suite(scale=args.scale, seed=args.seed,
                           control_plane=args.control_plane)
     if args.ext_scale:
         cases += scale_suite(args.ext_scale, seed=args.seed,
                              control_plane=args.control_plane,
                              scale=args.scale)
+    if args.shards:
+        cases += federation_suite(args.shards, seed=args.seed,
+                                  scale=args.scale)
     if args.only:
         cases = tuple(
             c for c in cases
@@ -250,7 +274,8 @@ def _run_suite_command(args) -> int:
                      progress_interval=(args.progress_interval
                                         if args.progress else None))
     payload = suite_payload(runs, scale=args.scale, workers=args.workers,
-                            control_plane=args.control_plane)
+                            control_plane=args.control_plane,
+                            shards=args.shards)
 
     rows = []
     for run in runs:
@@ -371,12 +396,29 @@ def _run_chaos_command(args, horizon: float) -> int:
               f"{', '.join(sorted(PRESET_PLANS))}, random",
               file=sys.stderr)
         return 2
-    scenario = TRACE_SCENARIOS[args.scenario](
-        args.dags, args.seed, horizon_s=horizon,
-        control_plane=args.control_plane,
-    )
+    if args.scenario == "ext-federation":
+        if args.shards < 1:
+            print("repro chaos: --shards must be >= 1", file=sys.stderr)
+            return 2
+        from repro.federation import (
+            ext_federation_scenario,
+            run_federation_chaos,
+        )
+
+        scenario = ext_federation_scenario(
+            n_shards=args.shards, dags_per_user=args.dags,
+            seed=args.seed, horizon_s=horizon,
+            submit_interval_s=args.submit_interval,
+        )
+        runner = run_federation_chaos
+    else:
+        scenario = TRACE_SCENARIOS[args.scenario](
+            args.dags, args.seed, horizon_s=horizon,
+            control_plane=args.control_plane,
+        )
+        runner = run_chaos
     try:
-        res = run_chaos(scenario, plan)
+        res = runner(scenario, plan)
     except ValueError as exc:
         print(f"repro chaos: {exc}", file=sys.stderr)
         return 2

@@ -285,6 +285,11 @@ class SphinxClient:
     def _run_plan(self, plan: dict):
         job_id = plan["job_id"]
         site = plan["site"]
+        # Report to the plan's origin: under a federation the shard that
+        # planned the job owns its state, which may not be the meta
+        # service this client submits DAGs to.  Plans without the field
+        # (pre-federation servers) fall back to the submission service.
+        origin = plan.get("server") or self.server_service
         started_at = self.env.now
 
         # 1. Stage missing inputs (planner step 3: optimal source chosen
@@ -303,7 +308,7 @@ class SphinxClient:
             ]
             yield from self._report_reliably(
                 job_id, "cancelled", site, reason="stage-in",
-                missing=missing,
+                missing=missing, service=origin,
             )
             return
 
@@ -315,12 +320,13 @@ class SphinxClient:
             runtime_s=plan["runtime_s"],
             owner=self.user.proxy,
             reservation_id=plan.get("reservation_id"),
+            scheduler=origin,
         )
         # Relay the RUNNING transition to the server (fire-and-forget);
         # eq. 1's "unfinished_jobs" counter is fed by these reports.
         handle.on_status_change(
             lambda _h, status: (
-                self._report(job_id, "running", site)
+                self._report(job_id, "running", site, service=origin)
                 if status is GridJobStatus.RUNNING and not self.crashed
                 else None
             )
@@ -353,16 +359,19 @@ class SphinxClient:
                 # The work is lost with its output; the site's disk is a
                 # site problem — report as an ordinary cancellation.
                 yield from self._report_reliably(
-                    job_id, "cancelled", site, reason="storage"
+                    job_id, "cancelled", site, reason="storage",
+                    service=origin,
                 )
                 return
             yield from self._report_reliably(
                 job_id, "completed", site,
                 completion_time_s=result.completion_time_s,
+                service=origin,
             )
         else:
             yield from self._report_reliably(
-                job_id, "cancelled", site, reason=result.reason
+                job_id, "cancelled", site, reason=result.reason,
+                service=origin,
             )
 
     def _stage_inputs(self, inputs: list, site: str,
@@ -387,11 +396,12 @@ class SphinxClient:
     def _report(self, job_id: str, status: str, site: str,
                 completion_time_s: Optional[float] = None,
                 reason: Optional[str] = None,
-                missing: Optional[list] = None):
+                missing: Optional[list] = None,
+                service: Optional[str] = None):
         """One fire-and-forget tracker report (faults are defused)."""
         return self.bus.call(
             self.user.proxy,
-            self.server_service,
+            service or self.server_service,
             "report_status",
             job_id,
             status,
@@ -404,7 +414,8 @@ class SphinxClient:
     def _report_reliably(self, job_id: str, status: str, site: str,
                          completion_time_s: Optional[float] = None,
                          reason: Optional[str] = None,
-                         missing: Optional[list] = None):
+                         missing: Optional[list] = None,
+                         service: Optional[str] = None):
         """At-least-once report: retries while the server is unreachable.
 
         A server being restarted (recovery) answers again under the same
@@ -425,30 +436,32 @@ class SphinxClient:
                 ack = yield self._report(
                     job_id, status, site,
                     completion_time_s=completion_time_s, reason=reason,
-                    missing=missing,
+                    missing=missing, service=service,
                 )
                 return ack
             except RpcFault as fault:
                 if "unknown service" not in str(fault):
                     return None
-                yield from self._unreachable_wait(attempt)
+                yield from self._unreachable_wait(attempt, service=service)
                 attempt += 1
 
-    def _unreachable_wait(self, attempt: int):
+    def _unreachable_wait(self, attempt: int,
+                          service: Optional[str] = None):
         """One backoff step while the server is away (shared by report
         and submission retries).  In push mode the wait also ends the
         instant the service re-registers; a reconnect waiter whose
         backoff timer won is withdrawn from the bus so abandoned
         waiters cannot pile up against a server that never returns."""
+        target = service or self.server_service
         delay = self._retry_delay(attempt)
         if self.mode == "push":
-            reconnect = self.bus.on_register(self.server_service)
+            reconnect = self.bus.on_register(target)
             pause = self.env.timeout(delay)
             yield self.env.any_of([reconnect, pause])
             if self.env.lean and not pause.processed:
                 pause.cancel()  # reconnect beat the backoff timer
             if not reconnect.triggered:
-                self.bus.discard_waiter(self.server_service, reconnect)
+                self.bus.discard_waiter(target, reconnect)
         else:
             yield self.env.timeout(delay)
 

@@ -43,6 +43,7 @@ def recover_server(
     rls,
     checkpoint: Optional[dict],
     obs=None,
+    server_cls: type[SphinxServer] = SphinxServer,
 ) -> SphinxServer:
     """A replacement server resuming from ``checkpoint``.
 
@@ -53,13 +54,18 @@ def recover_server(
     ``obs`` hands the replacement the same observability facade the
     crashed instance used, so counters keep accumulating across the
     restart (observers live outside the failure domain).
+
+    ``server_cls`` rebuilds subclassed servers (a federation shard) as
+    their own kind; the constructor signature is the contract.  Any
+    subclass wiring that lives outside the warehouse (peer links,
+    digest handlers) is the caller's job after this returns.
     """
     warehouse = Warehouse()
     if checkpoint is not None:
         warehouse.restore(checkpoint)
         _requeue_in_flight(warehouse)
         _drop_stale_plans(warehouse)
-    server = SphinxServer(
+    server = server_cls(
         env, bus, config, site_catalog, monitoring, rls,
         warehouse=warehouse, obs=obs,
     )

@@ -241,6 +241,11 @@ class SphinxServer:
         self._use_view_cache = config.view_cache
         self._view_cache: dict[str, SiteView] = {}
         self._view_snap: dict[str, Any] = {}
+        #: federation seam: a callable ``site -> (planned, running)``
+        #: merged into every view's load counters (peer-shard load from
+        #: digests).  None — the default — is branch-free off the view
+        #: cache hit path and keeps single-server runs decision-identical.
+        self._remote_load = None
         self._rebuild_site_counters()
         #: dag_ids whose ready set may have changed since the last
         #: planner pass (new RUNNING dag, job finished/cancelled, or a
@@ -261,6 +266,14 @@ class SphinxServer:
         self.regeneration_count = 0
 
         self.service_name = f"sphinx-server-{config.name}"
+        if bus.has_service(self.service_name):
+            # Fail fast and whole: without this guard the bus would
+            # reject the duplicate mid-registration (first method wins)
+            # and the two servers would silently share one service name.
+            raise ValueError(
+                f"service {self.service_name!r} is already on the bus — "
+                "give each concurrent server a unique ServerConfig.name"
+            )
         bus.register(self.service_name, "submit_dag", self._rpc_submit_dag)
         bus.register(self.service_name, "report_status", self._rpc_report_status)
         bus.register(self.service_name, "fetch_messages", self._rpc_fetch_messages)
@@ -845,6 +858,10 @@ class SphinxServer:
                 ],
                 "timeout_s": self.config.job_timeout_s,
                 "reservation_id": reservation_id,
+                # Plan origin: under a federation the client must report
+                # this job to the shard that planned it, not to whatever
+                # front door admitted the DAG.
+                "server": self.service_name,
             },
         )
         return True
@@ -1048,6 +1065,11 @@ class SphinxServer:
             if view is not None and self._view_snap[site] is snap:
                 return view
         planned, unfinished = self._site_active[site]
+        remote = self._remote_load
+        if remote is not None:
+            extra_planned, extra_running = remote(site)
+            planned += extra_planned
+            unfinished += extra_running
         n_cpus = self.site_catalog[site]
         self._phases.push("estimator")
         avg = self.estimator.average_s(site)
@@ -1080,6 +1102,23 @@ class SphinxServer:
     def _invalidate_site_view(self, site: str) -> None:
         """Drop one site's cached view (its inputs just changed)."""
         self._view_cache.pop(site, None)
+
+    def site_load_snapshot(self) -> dict:
+        """Compact load digest of this server (the federation export).
+
+        Only sites with nonzero active counters appear — on a large
+        catalog the digest stays proportional to live load, not to
+        catalog size.  ``inflight_dags`` is the admission-side
+        saturation signal a meta-scheduler spills on.
+        """
+        return {
+            "sites": {
+                site: [counters[0], counters[1]]
+                for site, counters in self._site_active.items()
+                if counters[0] or counters[1]
+            },
+            "inflight_dags": len(self.unfinished_dags()),
+        }
 
     # ---------------------------------------------------- virtual-data recovery
     def _regenerate_lost_inputs(self, dag_id: str, missing: list) -> None:

@@ -36,9 +36,11 @@ from repro.experiments.parallel import (
     SuiteCase,
     SuiteRun,
     default_suite,
+    federation_suite,
     headline_metrics,
     run_suite,
     scale_suite,
+    shard_latency_percentiles,
     suite_payload,
 )
 from repro.experiments.report import format_table
@@ -62,9 +64,11 @@ __all__ = [
     "fig5_pairwise",
     "fig6_site_distribution",
     "fig7_policy",
+    "federation_suite",
     "fig8_timeouts",
     "format_table",
     "headline_metrics",
+    "shard_latency_percentiles",
     "run_scenario",
     "run_suite",
     "scale_suite",

@@ -24,6 +24,7 @@ events/second throughput, and headline metrics.
 from __future__ import annotations
 
 import json
+import math
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -52,11 +53,13 @@ __all__ = [
     "SuiteCase",
     "SuiteRun",
     "default_suite",
+    "federation_suite",
     "scale_suite",
     "run_suite",
     "headline_metrics",
     "planning_latency_percentiles",
     "reservation_counts",
+    "shard_latency_percentiles",
     "suite_payload",
     "wall_breakdown_ms",
 ]
@@ -169,6 +172,35 @@ def default_suite(scale: float = 1.0, seed: int = 42,
     return tuple(cases)
 
 
+def federation_suite(shard_counts: Sequence[int], seed: int = 42,
+                     scale: float = 1.0) -> tuple[SuiteCase, ...]:
+    """Federated cases: one ``ext-federation-Nshards`` per shard count.
+
+    ``scale`` shrinks the per-user DAG count (floor of 2); the shard
+    counts are the point of the sweep and stay as requested.  Cases
+    run under :func:`repro.federation.run_federation` — ``_run_case``
+    dispatches on the scenario type.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    # Lazy import: repro.federation.runner imports back into the
+    # experiments package, so binding it at module-import time would
+    # be circular.
+    from repro.federation.runner import ext_federation_scenario
+
+    cases = []
+    for n_shards in shard_counts:
+        cases.append(SuiteCase(
+            f"ext-federation-{n_shards}shards",
+            ext_federation_scenario(
+                n_shards=n_shards,
+                dags_per_user=max(2, round(5 * scale)),
+                seed=seed,
+            ),
+        ))
+    return tuple(cases)
+
+
 def scale_suite(sizes: Sequence[tuple[int, int]], seed: int = 42,
                 control_plane: str = ControlPlaneMode.PUSH,
                 scale: float = 1.0) -> tuple[SuiteCase, ...]:
@@ -188,6 +220,15 @@ def scale_suite(sizes: Sequence[tuple[int, int]], seed: int = 42,
                                control_plane=control_plane),
         ))
     return tuple(cases)
+
+
+def _dispatch(scenario, obs, heartbeat) -> ExperimentResult:
+    """Run one scenario under whichever runner owns its type."""
+    from repro.federation.runner import FederationScenario, run_federation
+
+    if isinstance(scenario, FederationScenario):
+        return run_federation(scenario, obs=obs, heartbeat=heartbeat).result
+    return run_scenario(scenario, obs=obs, heartbeat=heartbeat)
 
 
 def _run_case(case: SuiteCase,
@@ -236,7 +277,7 @@ def _run_case(case: SuiteCase,
             label=case.name,
         )
     t0 = time.perf_counter()
-    result = run_scenario(case.scenario, obs=obs, heartbeat=heartbeat)
+    result = _dispatch(case.scenario, obs=obs, heartbeat=heartbeat)
     wall_s = time.perf_counter() - t0
     if out is not None and not stream_spans:
         from repro.obs.export import write_chrome_trace, write_spans_jsonl
@@ -343,15 +384,59 @@ def headline_metrics(result: ExperimentResult) -> dict:
     }
 
 
+def _nearest_rank(ordered: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile over a sorted sample list (the same
+    definition :class:`repro.obs.metrics.Histogram` uses, so pooled
+    and single-histogram numbers are directly comparable)."""
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
 def planning_latency_percentiles(
     snapshot: dict,
 ) -> tuple[Optional[float], Optional[float]]:
-    """(p50, p95) of the pooled ``server.planning_latency_s`` histogram
-    in a registry snapshot; (None, None) when absent or empty."""
+    """(p50, p95) of the ``server.planning_latency_s`` histogram in a
+    registry snapshot; (None, None) when absent or empty.
+
+    Single-server runs record into the unlabeled histogram.  Federated
+    runs record per shard (``shard=<label>``) and leave the unlabeled
+    one empty, so when it has no observations this pools the raw
+    samples of every labeled sibling instead — the federation-wide
+    percentiles (requires the snapshot to carry samples, as suite-run
+    snapshots do)."""
+    pooled: list[float] = []
     for hist in snapshot.get("histograms", ()):
-        if hist["name"] == "server.planning_latency_s" and not hist["labels"]:
-            return hist.get("p50"), hist.get("p95")
-    return None, None
+        if hist["name"] != "server.planning_latency_s":
+            continue
+        if not hist["labels"]:
+            if hist.get("count"):
+                return hist.get("p50"), hist.get("p95")
+            continue
+        pooled.extend(hist.get("samples", ()))
+    if not pooled:
+        return None, None
+    pooled.sort()
+    return _nearest_rank(pooled, 50), _nearest_rank(pooled, 95)
+
+
+def shard_latency_percentiles(snapshot: dict) -> dict:
+    """Per-shard planning latency: ``{shard: {"p50": ..., "p95": ...,
+    "count": ...}}`` from the ``shard``-labelled
+    ``server.planning_latency_s`` histograms; empty for single-server
+    runs."""
+    out = {}
+    for hist in snapshot.get("histograms", ()):
+        if hist["name"] != "server.planning_latency_s":
+            continue
+        shard = hist.get("labels", {}).get("shard")
+        if shard is None:
+            continue
+        out[shard] = {
+            "p50": hist.get("p50"),
+            "p95": hist.get("p95"),
+            "count": hist.get("count", 0),
+        }
+    return dict(sorted(out.items()))
 
 
 def reservation_counts(snapshot: dict) -> dict:
@@ -385,10 +470,28 @@ def wall_breakdown_ms(snapshot: dict) -> dict:
     return out
 
 
+def _federation_counts(snapshot: dict) -> dict:
+    """Meta-scheduler routing activity in a registry snapshot."""
+    out = {"admitted": 0, "spilled": 0, "rehomed": 0}
+    names = {"meta.dags_admitted": "admitted",
+             "meta.dags_spilled": "spilled",
+             "meta.dags_rehomed": "rehomed"}
+    for counter in snapshot.get("counters", ()):
+        key = names.get(counter["name"])
+        if key is not None:
+            out[key] += int(counter["value"])
+    return out
+
+
 def suite_payload(runs: Sequence[SuiteRun], scale: float,
                   workers: int,
-                  control_plane: str = ControlPlaneMode.PUSH) -> dict:
-    """The BENCH_SUITE.json document for one suite invocation."""
+                  control_plane: str = ControlPlaneMode.PUSH,
+                  shards: Optional[Sequence[int]] = None) -> dict:
+    """The BENCH_SUITE.json document for one suite invocation.
+
+    ``shards`` records which federated shard counts ran (the
+    ``--shards`` flag), so the perf-trend comparability key can keep
+    federated and plain suite runs apart."""
     figures = {}
     for run in runs:
         lat_p50, lat_p95 = planning_latency_percentiles(run.metrics)
@@ -403,11 +506,17 @@ def suite_payload(runs: Sequence[SuiteRun], scale: float,
             "reservations": reservation_counts(run.metrics),
             **headline_metrics(run.result),
         }
+        per_shard = shard_latency_percentiles(run.metrics)
+        if per_shard:
+            figures[run.name]["shards"] = per_shard
+            figures[run.name]["federation"] = _federation_counts(
+                run.metrics)
     return {
         "schema": SCHEMA,
         "scale": scale,
         "workers": workers,
         "control_plane": control_plane,
+        "shards": sorted(shards) if shards else [],
         "cases": [run.name for run in runs],
         "total_wall_s": sum(run.wall_s for run in runs),
         "total_events": sum(run.result.event_count for run in runs),

@@ -68,11 +68,15 @@ _SITE_TO_GRID = {
 class GridJobHandle:
     """What the submitter holds: status, timings, and change callbacks."""
 
-    def __init__(self, env: Environment, job_id: str, site: str, owner: str):
+    def __init__(self, env: Environment, job_id: str, site: str, owner: str,
+                 scheduler: Optional[str] = None):
         self.env = env
         self.job_id = job_id
         self.site = site
         self.owner = owner
+        #: service name of the SPHINX server whose plan drove this
+        #: submission (None for direct/legacy submitters)
+        self.scheduler = scheduler
         self.status = GridJobStatus.IDLE
         self.submitted_at = env.now
         self.finished_at: Optional[float] = None
@@ -146,6 +150,11 @@ class CondorG:
         self.grid = grid
         self._handles: dict[str, GridJobHandle] = {}
         self.submitted_count = 0
+        #: submissions per planning scheduler service — under a
+        #: federation every shard shares this one Condor-G, and this is
+        #: the grid-level audit of which shard's plans drove how many
+        #: submissions (key None: submitter gave no scheduler).
+        self.submissions_by_scheduler: dict[Optional[str], int] = {}
         self.failed_submissions = 0
         self.reservations_confirmed = 0
         self.reservations_rejected = 0
@@ -192,6 +201,7 @@ class CondorG:
         owner: str = "anonymous",
         priority: Optional[int] = None,
         reservation_id: Optional[str] = None,
+        scheduler: Optional[str] = None,
     ) -> GridJobHandle:
         """Submit a job to ``site``; always returns a handle.
 
@@ -199,15 +209,21 @@ class CondorG:
         exception) so callers have one uniform tracking path.
         ``reservation_id`` claims a slot of a previously booked window;
         an unknown or expired reservation silently degrades to the
-        ordinary queue (the job must still run).
+        ordinary queue (the job must still run).  ``scheduler`` tags the
+        submission with the planning server's service name for the
+        per-shard accounting.
         """
         if job_id in self._handles:
             raise ValueError(f"duplicate grid job id {job_id!r}")
         if site not in self.grid:
             raise KeyError(f"unknown site {site!r}")
-        handle = GridJobHandle(self.env, job_id, site, owner)
+        handle = GridJobHandle(self.env, job_id, site, owner,
+                               scheduler=scheduler)
         self._handles[job_id] = handle
         self.submitted_count += 1
+        self.submissions_by_scheduler[scheduler] = (
+            self.submissions_by_scheduler.get(scheduler, 0) + 1
+        )
         try:
             site_job = self.grid.site(site).submit(
                 job_id, runtime_s=runtime_s, owner=owner, priority=priority,

@@ -114,10 +114,18 @@ class RpcBus:
         """
         svc = self._services.get(service)
         appeared = svc is None
+        if svc is not None and method in svc.methods:
+            # Checked before any mutation: a rejected registration must
+            # leave the live owner's service entry untouched (two
+            # servers spawned with the same ``ServerConfig.name`` would
+            # otherwise half-mutate each other's registrations).
+            raise ValueError(
+                f"{service}.{method} already registered — one owner per "
+                "service name; unregister_service() the live owner first "
+                "or use a distinct name"
+            )
         if svc is None:
             svc = self._services[service] = _Service(service)
-        if method in svc.methods:
-            raise ValueError(f"{service}.{method} already registered")
         svc.methods[method] = handler
         if allowed_proxies is not None:
             svc.allowed_proxies = set(allowed_proxies)

@@ -1,0 +1,65 @@
+"""Unit tests: the digest board's freshness, ordering, and armour."""
+
+from repro.federation.digest import DigestBoard
+
+
+def digest(shard="p1", seq=1, issued_at=0.0, sites=None, inflight=0):
+    return {"shard": shard, "seq": seq, "issued_at": issued_at,
+            "sites": sites if sites is not None else {"s0": [1, 2]},
+            "inflight_dags": inflight}
+
+
+def test_apply_returns_changed_sites():
+    board = DigestBoard("me", ttl_s=100.0)
+    assert board.apply(digest(sites={"s0": [1, 0], "s1": [0, 1]})) == (
+        "s0", "s1")
+    # The next digest drops s1: both the new and the vanished site
+    # changed (the caller must invalidate the cached view of each).
+    assert board.apply(digest(seq=2, sites={"s0": [2, 0]})) == ("s0", "s1")
+
+
+def test_stale_sequence_dropped():
+    board = DigestBoard("me", ttl_s=100.0)
+    board.apply(digest(seq=5, sites={"s0": [3, 3]}))
+    assert board.apply(digest(seq=4, sites={"s0": [9, 9]})) == ()
+    assert board.remote_load("s0", now=0.0) == (3, 3)
+
+
+def test_own_digest_ignored():
+    board = DigestBoard("me", ttl_s=100.0)
+    assert board.apply(digest(shard="me")) == ()
+    assert board.digests == {}
+
+
+def test_malformed_digest_ignored():
+    board = DigestBoard("me", ttl_s=100.0)
+    assert board.apply(None) == ()
+    assert board.apply({"shard": "p1"}) == ()
+    assert board.apply({"shard": "p1", "seq": "x", "sites": {}}) == ()
+    assert board.digests == {}
+
+
+def test_remote_load_sums_fresh_peers_only():
+    board = DigestBoard("me", ttl_s=100.0)
+    board.apply(digest(shard="p1", issued_at=0.0, sites={"s0": [1, 2]}))
+    board.apply(digest(shard="p2", issued_at=90.0, sites={"s0": [3, 4]}))
+    assert board.remote_load("s0", now=95.0) == (4, 6)
+    # p1's digest ages out past the TTL; p2's still counts.
+    assert board.remote_load("s0", now=150.0) == (3, 4)
+    assert board.remote_load("s0", now=500.0) == (0, 0)
+
+
+def test_remote_load_skips_malformed_site_entries():
+    board = DigestBoard("me", ttl_s=100.0)
+    board.apply(digest(sites={"s0": [1], "s1": "bad", "s2": [2, 3]}))
+    assert board.remote_load("s0", now=0.0) == (0, 0)
+    assert board.remote_load("s1", now=0.0) == (0, 0)
+    assert board.remote_load("s2", now=0.0) == (2, 3)
+
+
+def test_fresh_inflight():
+    board = DigestBoard("me", ttl_s=100.0)
+    board.apply(digest(shard="p1", issued_at=0.0, inflight=4))
+    board.apply(digest(shard="p2", issued_at=60.0, inflight=7))
+    assert board.fresh_inflight(now=80.0) == {"p1": 4, "p2": 7}
+    assert board.fresh_inflight(now=120.0) == {"p2": 7}

@@ -1,0 +1,108 @@
+"""Unit tests: meta-scheduler admission, routing, spill, re-homing."""
+
+import pytest
+
+from repro.core.serialize import dag_to_payload
+from repro.federation import MetaScheduler
+from repro.federation.shards import ShardMap
+
+from tests.federation.fedstack import FedStack, one_job_dag
+
+
+def make_meta(st):
+    return MetaScheduler(st.env, st.bus, st.fed, st.services)
+
+
+def submit(st, meta, dag, user="/VO=v/CN=u", client_id="c0"):
+    return meta._rpc_submit_dag(client_id, user, dag_to_payload(dag), 10)
+
+
+def home_of(st, user="/VO=v/CN=u"):
+    return ShardMap(tuple(st.services)).home(user)
+
+
+def test_duplicate_meta_service_raises():
+    st = FedStack()
+    make_meta(st)
+    with pytest.raises(ValueError):
+        make_meta(st)
+
+
+def test_dag_forwarded_to_home_shard():
+    st = FedStack(n_shards=3)
+    meta = make_meta(st)
+    for srv in st.servers.values():
+        srv.policy.grant_unlimited("/VO=v/CN=u")
+    assert submit(st, meta, one_job_dag("d0")) == "accepted"
+    st.run(until=10.0)
+    home = home_of(st)
+    assert meta.assignments() == {"d0": home}
+    assert meta.unacked() == ()
+    assert "d0" in st.servers[home].warehouse.table("dags")
+    for label, srv in st.servers.items():
+        if label != home:
+            assert "d0" not in srv.warehouse.table("dags")
+
+
+def test_replayed_submission_is_an_ack_not_a_new_dag():
+    st = FedStack()
+    meta = make_meta(st)
+    assert submit(st, meta, one_job_dag("d0")) == "accepted"
+    assert submit(st, meta, one_job_dag("d0")) == "accepted"
+    assert len(meta.entries) == 1
+
+
+def test_saturated_home_spills_to_live_peer():
+    st = FedStack(n_shards=3, fed_kw={"spill_threshold": 1})
+    meta = make_meta(st)
+    # Two admissions in one instant: the first forward is still
+    # pending, so the home shows load 1 >= threshold and d1 spills.
+    submit(st, meta, one_job_dag("d0"))
+    submit(st, meta, one_job_dag("d1"))
+    home = home_of(st)
+    assert meta.assignments()["d0"] == home
+    assert meta.assignments()["d1"] != home
+    assert meta.spilled_count == 1
+
+
+def test_outage_within_grace_waits_for_the_home_shard():
+    st = FedStack(n_shards=2, fed_kw={"rehome_after_s": 600.0})
+    meta = make_meta(st)
+    home = home_of(st)
+    st.servers[home].shutdown()
+    submit(st, meta, one_job_dag("d0"))
+    st.run(until=599.0)
+    # Still parked on the dead home: no re-home before the grace.
+    assert meta.assignments()["d0"] == home
+    assert meta.unacked() == ("d0",)
+    assert meta.rehomed_count == 0
+
+
+def test_continuous_outage_past_grace_rehomes_unacked_dags():
+    st = FedStack(n_shards=2, fed_kw={"rehome_after_s": 600.0})
+    meta = make_meta(st)
+    home = home_of(st)
+    other = next(lbl for lbl in st.services if lbl != home)
+    st.servers[home].shutdown()
+    submit(st, meta, one_job_dag("d0"))
+    st.run(until=700.0)
+    assert meta.assignments()["d0"] == other
+    assert meta.unacked() == ()
+    assert meta.rehomed_count == 1
+    assert "d0" in st.servers[other].warehouse.table("dags")
+
+
+def test_digest_is_proof_of_life_for_the_outage_clock():
+    st = FedStack(n_shards=2, fed_kw={"rehome_after_s": 600.0})
+    meta = make_meta(st)
+    home = home_of(st)
+    st.servers[home].shutdown()
+    submit(st, meta, one_job_dag("d0"))
+    st.run(until=400.0)
+    # A digest from the shard resets the continuous-outage clock even
+    # though its submit_dag service is still down.
+    meta._rpc_digest({"shard": home, "seq": 99, "issued_at": 400.0,
+                      "sites": {}, "inflight_dags": 0})
+    st.run(until=900.0)
+    assert meta.assignments()["d0"] == home
+    assert meta.rehomed_count == 0
