@@ -27,6 +27,7 @@ from repro.chaos.plan import ChaosPlan, CrashSpec
 from repro.core.recovery import recover_server
 from repro.services.rpc import RpcBus
 from repro.sim.rng import RngStreams
+from repro.simgrid.site import SiteState
 
 __all__ = ["ChaosController"]
 
@@ -69,12 +70,24 @@ class ChaosController:
             return
         if self.plan.crashes:
             config.checkpoint_interval_s = self.plan.checkpoint_interval_s
+        if self.plan.eviction_active:
+            # Arm eviction tolerance only where the spec left the knob
+            # on auto (None) — an explicit False/0 is a deliberate
+            # baseline (kill-and-resubmit) and must stay as written.
+            if config.migrate_on_drain is None:
+                config.migrate_on_drain = self.plan.migrate_on_drain
+            if config.job_checkpoint_interval_s is None:
+                config.job_checkpoint_interval_s = (
+                    self.plan.job_checkpoint_interval_s
+                )
+            if config.job_checkpoint_cost_s is None:
+                config.job_checkpoint_cost_s = self.plan.job_checkpoint_cost_s
         needs_redelivery = self.plan.transport_active or any(
             c.component == "client" for c in self.plan.crashes
         )
         if needs_redelivery and config.mode == "push":
             config.reliable_delivery = True
-        if needs_redelivery or self.plan.crashes:
+        if needs_redelivery or self.plan.crashes or self.plan.eviction_active:
             window = self.plan.presume_lost_after_s
             if window is None:
                 # Past the client's own timeout + a healthy grace for
@@ -123,10 +136,41 @@ class ChaosController:
                 mtbf_s=self.plan.site_mtbf_s,
                 mttr_s=self.plan.site_mttr_s,
             )
+        if self.plan.site_evictions:
+            grid.failures.schedule_evictions(self.plan.site_evictions)
+        if self.plan.eviction_mtbf_s is not None:
+            grid.failures.start_eviction_storm(
+                self._rngs.spawn("eviction-chaos"),
+                mtbf_s=self.plan.eviction_mtbf_s,
+                notice_s=self.plan.eviction_notice_s,
+                outage_s=self.plan.eviction_outage_s,
+            )
+        if self.plan.eviction_active:
+            # Drain notices reach schedulers the way a 2004 grid's did:
+            # the site publishes, every planner listening reacts.  The
+            # listener dispatches to the *live* server dict, so notices
+            # land on recovered incarnations too.
+            for site in grid:
+                site.add_state_listener(self._drain_listener)
         for idx, spec in enumerate(self.plan.crashes):
             env.process(self._crash_drill(spec, idx))
 
     # -- the drills -------------------------------------------------------
+    def _drain_listener(self, site, old, new) -> None:
+        """Relay site drain transitions to every live server.
+
+        DRAINING starts the clock (stop planning there, migrate if
+        armed); the return to UP clears the block.  A DOWN transition
+        needs no relay — ``_draining`` deliberately covers the outage
+        so the planner keeps avoiding the site until it truly returns.
+        """
+        if new is SiteState.DRAINING:
+            for server in list(self.servers.values()):
+                server.drain_notice(site.name, site.drain_deadline)
+        elif new is SiteState.UP:
+            for server in list(self.servers.values()):
+                server.drain_cleared(site.name)
+
     def _crash_instant(self, spec: CrashSpec, idx: int) -> float:
         if spec.at_s is not None:
             return spec.at_s

@@ -101,6 +101,7 @@ _CHECKS = (
     "job-referential",
     "exactly-once-effects",
     "quota-conservation",
+    "checkpoint-progress",
     "outbox-drained",
     "reservation-conservation",
     "obs-consistency",
@@ -287,6 +288,19 @@ def check_invariants(servers: dict, clients: dict, bus, scenario,
                         f"reservations sum to {expected[key]:.3f} but "
                         "no usage row exists",
                     ))
+
+        # -- checkpoint progress --------------------------------------------
+        # A job's persisted resume fraction is a physical quantity:
+        # outside [0, 1] the accumulation math (or a stale report) has
+        # corrupted it, and the next replan would compute a negative or
+        # runaway remaining runtime.
+        for jrow in job_rows:
+            fraction = jrow.get("checkpoint_fraction", 0.0)
+            if not 0.0 <= fraction <= 1.0:
+                out.append(Violation(
+                    "checkpoint-progress", label, jrow["job_id"],
+                    f"checkpoint fraction {fraction!r} outside [0, 1]",
+                ))
 
         # -- delivery ------------------------------------------------------
         if server.config.reliable_delivery:

@@ -29,7 +29,7 @@ from dataclasses import asdict, dataclass
 from fnmatch import fnmatch
 from typing import Optional
 
-from repro.simgrid.failures import DowntimeWindow
+from repro.simgrid.failures import DowntimeWindow, EvictionEvent
 
 __all__ = [
     "FaultRule",
@@ -153,6 +153,19 @@ class ChaosPlan:
     #: server-side presumed-lost window; None = derive from the
     #: scenario's job timeout (timeout + grace), the safe default
     presume_lost_after_s: Optional[float] = None
+    #: spot-style evictions (resource layer): scripted drain events
+    #: and/or a stochastic per-site eviction storm (MTBF; None = off).
+    site_evictions: tuple[EvictionEvent, ...] = ()
+    eviction_mtbf_s: Optional[float] = None
+    eviction_notice_s: float = 120.0
+    eviction_outage_s: float = 600.0
+    #: survival settings the tuner applies when the eviction axis is
+    #: active, for servers whose spec left them on auto (None).  Named
+    #: apart from ``checkpoint_interval_s``, which is the *warehouse*
+    #: checkpoint period — these are per-*job* progress checkpoints.
+    migrate_on_drain: bool = True
+    job_checkpoint_interval_s: float = 60.0
+    job_checkpoint_cost_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.site_mtbf_s is not None and self.site_mtbf_s <= 0:
@@ -164,6 +177,14 @@ class ChaosPlan:
         if (self.presume_lost_after_s is not None
                 and self.presume_lost_after_s <= 0):
             raise ValueError("presume_lost_after_s must be > 0")
+        if self.eviction_mtbf_s is not None and self.eviction_mtbf_s <= 0:
+            raise ValueError("eviction_mtbf_s must be > 0")
+        if self.eviction_notice_s < 0:
+            raise ValueError("eviction_notice_s must be >= 0")
+        if self.eviction_outage_s <= 0:
+            raise ValueError("eviction_outage_s must be > 0")
+        if self.job_checkpoint_interval_s < 0 or self.job_checkpoint_cost_s < 0:
+            raise ValueError("job checkpoint knobs must be >= 0")
 
     # -- classification ---------------------------------------------------
     @property
@@ -171,10 +192,17 @@ class ChaosPlan:
         return bool(self.partitions) or any(r.active for r in self.rules)
 
     @property
+    def eviction_active(self) -> bool:
+        """True when the plan drains sites spot-style (scripted or
+        stochastic) — the axis that arms checkpoint/migration tuning."""
+        return bool(self.site_evictions) or self.eviction_mtbf_s is not None
+
+    @property
     def active(self) -> bool:
         """False for a no-op plan: the controller then changes nothing."""
         return (self.transport_active or bool(self.crashes)
-                or bool(self.site_windows) or self.site_mtbf_s is not None)
+                or bool(self.site_windows) or self.site_mtbf_s is not None
+                or self.eviction_active)
 
     def rule_for(self, service: str, method: str) -> Optional[FaultRule]:
         """First matching active rule (None = calls pass clean)."""
@@ -301,6 +329,26 @@ def _reservation_outage(seed: int) -> ChaosPlan:
     )
 
 
+def _spot_eviction(seed: int) -> ChaosPlan:
+    """Spot-market churn: every site can be drained with 120s notice.
+
+    A stochastic per-site eviction storm (2h MTBF) publishes drain
+    notices and reclaims the slots 600s at a time.  The tuner arms job
+    checkpointing and drain migration on every server whose spec left
+    them on auto, so the drill exercises the full preempt → checkpoint
+    → migrate → resume loop; the invariants then audit that no DAG is
+    lost, every checkpoint fraction stays in [0, 1], and the quota
+    ledgers balance across the migrations.
+    """
+    return ChaosPlan(
+        name="spot-eviction",
+        seed=seed,
+        eviction_mtbf_s=2 * 3600.0,
+        eviction_notice_s=120.0,
+        eviction_outage_s=600.0,
+    )
+
+
 def _shard_outage(seed: int) -> ChaosPlan:
     """Kill one federation shard long enough to force re-homing.
 
@@ -329,6 +377,7 @@ PRESET_PLANS = {
     "crash": _crash,
     "full": _full,
     "sites": _sites,
+    "spot-eviction": _spot_eviction,
     "reservation-outage": _reservation_outage,
     "shard-outage": _shard_outage,
 }

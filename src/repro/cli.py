@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 from repro.core.algorithms import available_algorithms
 from repro.experiments import (
     default_suite,
+    eviction_suite,
     federation_suite,
     fig2_feedback,
     fig3_algorithms,
@@ -45,6 +46,7 @@ from repro.experiments import (
 )
 from repro.experiments.figures import (
     ALGORITHM_LINEUP,
+    ext_eviction_scenario,
     ext_reservation_scenario,
     fig2_scenario,
     fig345_scenario,
@@ -55,6 +57,18 @@ from repro.experiments.figures import (
 
 __all__ = ["main"]
 
+def _ext_eviction_entry(n_dags, seed=42, horizon_s=24 * 3600.0,
+                        control_plane="push"):
+    """Adapter for the ``(n_dags, seed, ...)`` calling convention every
+    other entry in :data:`TRACE_SCENARIOS` follows —
+    :func:`ext_eviction_scenario` takes the catalog size first, which
+    stays at its 250-site default here (``--dags`` sets the DAG count,
+    as for every other scenario)."""
+    return ext_eviction_scenario(n_dags=n_dags, seed=seed,
+                                 horizon_s=horizon_s,
+                                 control_plane=control_plane)
+
+
 #: scenario builders the ``trace`` subcommand can instrument
 TRACE_SCENARIOS = {
     "fig2": fig2_scenario,
@@ -63,6 +77,7 @@ TRACE_SCENARIOS = {
     "fig7": fig7_scenario,
     "fig8": fig8_scenario,
     "ext-reservation": ext_reservation_scenario,
+    "ext-eviction": _ext_eviction_entry,
 }
 
 
@@ -128,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run extreme-scale cases, e.g. --ext-scale 250x10000 "
              "2500x100000 (synthetic catalog, batched background; "
              "job counts shrink with --scale)")
+    suite.add_argument(
+        "--ext-eviction", action="store_true",
+        help="also run the eviction-tolerance case: kill-and-resubmit "
+             "vs checkpoint+migrate under the spot-eviction chaos "
+             "preset (migration counts and preemption-loss percentiles "
+             "land in the report; an invariant violation fails the "
+             "suite)")
     suite.add_argument(
         "--shards", nargs="*", default=None, metavar="N", type=int,
         help="also run federated cases, e.g. --shards 3 10: a "
@@ -259,6 +281,9 @@ def _run_suite_command(args) -> int:
     if args.shards:
         cases += federation_suite(args.shards, seed=args.seed,
                                   scale=args.scale)
+    if args.ext_eviction:
+        cases += eviction_suite(scale=args.scale, seed=args.seed,
+                                control_plane=args.control_plane)
     if args.only:
         cases = tuple(
             c for c in cases
@@ -300,6 +325,18 @@ def _run_suite_command(args) -> int:
                f"workers={args.workers}, "
                f"total wall {payload['total_wall_s']:.1f}s"),
     ))
+    for run in runs:
+        fig = payload["figures"][run.name]
+        ev = fig.get("evictions", {})
+        if not any(ev.values()):
+            continue
+        loss = ", ".join(
+            f"{label}: lost {s['preempted_work_s']:.0f}s "
+            f"over {s['migrations']} migrations"
+            for label, s in fig["servers"].items()
+        )
+        print(f"{run.name}: evictions={ev['evictions']} "
+              f"checkpoint_restores={ev['checkpoint_restores']} | {loss}")
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

@@ -107,6 +107,15 @@ class SphinxClient:
         #: live plan-execution processes (pruned lazily); crash() kills
         #: them so an interrupted client abandons its in-flight work.
         self._inflight: list = []
+        #: job_id -> attempt currently executing, and job_id -> the
+        #: Condor-G handle once that attempt is submitted — the lookup
+        #: an "evict" message (server-driven migration off a draining
+        #: site) uses to kill the right attempt.
+        self._live_attempts: dict[str, int] = {}
+        self._live_handles: dict[str, object] = {}
+        #: (job_id, attempt) pairs evicted before their submission went
+        #: out; the plan execution cancels itself instead of submitting.
+        self._evict_requested: set[tuple[str, int]] = set()
         #: True between crash() and restart(); silences this client's
         #: grid-job watchers (a dead client reports nothing).
         self.crashed = False
@@ -227,12 +236,33 @@ class SphinxClient:
                 self._inflight.append(
                     self.env.process(self._execute_plan(payload))
                 )
+            elif msg["kind"] == "evict":
+                payload = msg["payload"]
+                self._evict(payload["job_id"], payload.get("attempt", 0))
             elif msg["kind"] == "dag-finished":
                 times = self.dag_times.get(msg["payload"]["dag_id"])
                 if times is not None and times[1] is None:
                     times[1] = self.env.now
         if messages and not self.done.triggered and self.all_dags_finished():
             self.done.succeed(self.env.now)
+
+    def _evict(self, job_id: str, attempt: int) -> None:
+        """Server-driven migration: kill the named attempt's grid job.
+
+        The site-side kill records checkpoint progress before the KILLED
+        transition fires, the tracker resolves, and the ordinary
+        cancelled report carries the preserved fraction back — the
+        server replans the job onto a live site from there.  An attempt
+        whose submission has not gone out yet (inputs still staging) is
+        marked instead and cancels itself before submitting.
+        """
+        if self._live_attempts.get(job_id) != attempt:
+            return  # stale notice for a finished or superseded attempt
+        handle = self._live_handles.get(job_id)
+        if handle is None:
+            self._evict_requested.add((job_id, attempt))
+        elif not handle.status.terminal:
+            self.condorg.cancel(handle.job_id)
 
     # -- crash drills ------------------------------------------------------------
     def crash(self) -> None:
@@ -257,6 +287,9 @@ class SphinxClient:
                 proc.interrupt("client-crash")
         self._inflight.clear()
         self._seen_plans.clear()
+        self._live_attempts.clear()
+        self._live_handles.clear()
+        self._evict_requested.clear()
 
     def restart(self) -> None:
         """Bring a crashed client back under the same identity.
@@ -277,10 +310,21 @@ class SphinxClient:
 
     # -- plan execution --------------------------------------------------------------
     def _execute_plan(self, plan: dict):
+        job_id = plan["job_id"]
+        attempt = plan.get("attempt", 0)
+        self._live_attempts[job_id] = attempt
         try:
             yield from self._run_plan(plan)
         except Interrupt:
-            return  # crash(): this attempt is abandoned where it stood
+            pass  # crash(): this attempt is abandoned where it stood
+        finally:
+            # A newer attempt may already have claimed the slots (its
+            # plan can land while our last report is on the wire); only
+            # the attempt that owns an entry may retire it.
+            if self._live_attempts.get(job_id) == attempt:
+                del self._live_attempts[job_id]
+                self._live_handles.pop(job_id, None)
+            self._evict_requested.discard((job_id, attempt))
 
     def _run_plan(self, plan: dict):
         job_id = plan["job_id"]
@@ -313,6 +357,14 @@ class SphinxClient:
             return
 
         # 2. Submit through Condor-G.  Grid ids are attempt-unique.
+        if (job_id, plan.get("attempt", 0)) in self._evict_requested:
+            # The server evicted this attempt while inputs were staging;
+            # hand it straight back for replanning instead of submitting
+            # to a site that is about to drain.
+            yield from self._report_reliably(
+                job_id, "cancelled", site, reason="evicted", service=origin,
+            )
+            return
         grid_id = f"{self.client_id}.{next(self._grid_ids)}.{job_id}"
         handle = self.condorg.submit(
             grid_id,
@@ -321,7 +373,10 @@ class SphinxClient:
             owner=self.user.proxy,
             reservation_id=plan.get("reservation_id"),
             scheduler=origin,
+            checkpoint_interval_s=plan.get("checkpoint_interval_s", 0.0),
+            checkpoint_cost_s=plan.get("checkpoint_cost_s", 0.0),
         )
+        self._live_handles[job_id] = handle
         # Relay the RUNNING transition to the server (fire-and-forget);
         # eq. 1's "unfinished_jobs" counter is fed by these reports.
         handle.on_status_change(
@@ -371,6 +426,8 @@ class SphinxClient:
         else:
             yield from self._report_reliably(
                 job_id, "cancelled", site, reason=result.reason,
+                checkpointed_fraction=result.checkpointed_fraction,
+                lost_work_s=result.lost_work_s,
                 service=origin,
             )
 
@@ -397,6 +454,8 @@ class SphinxClient:
                 completion_time_s: Optional[float] = None,
                 reason: Optional[str] = None,
                 missing: Optional[list] = None,
+                checkpointed_fraction: float = 0.0,
+                lost_work_s: float = 0.0,
                 service: Optional[str] = None):
         """One fire-and-forget tracker report (faults are defused)."""
         return self.bus.call(
@@ -409,12 +468,16 @@ class SphinxClient:
             completion_time_s,
             reason,
             missing,
+            checkpointed_fraction,
+            lost_work_s,
         )
 
     def _report_reliably(self, job_id: str, status: str, site: str,
                          completion_time_s: Optional[float] = None,
                          reason: Optional[str] = None,
                          missing: Optional[list] = None,
+                         checkpointed_fraction: float = 0.0,
+                         lost_work_s: float = 0.0,
                          service: Optional[str] = None):
         """At-least-once report: retries while the server is unreachable.
 
@@ -436,7 +499,9 @@ class SphinxClient:
                 ack = yield self._report(
                     job_id, status, site,
                     completion_time_s=completion_time_s, reason=reason,
-                    missing=missing, service=service,
+                    missing=missing,
+                    checkpointed_fraction=checkpointed_fraction,
+                    lost_work_s=lost_work_s, service=service,
                 )
                 return ack
             except RpcFault as fault:

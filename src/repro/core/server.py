@@ -125,6 +125,20 @@ class ServerConfig:
     #: walltime margin applied to stage duration/readiness estimates
     #: when sizing reservation windows (> 1 absorbs estimator error).
     reservation_slack: float = 1.5
+    #: live migration off draining sites: on a spot-eviction notice
+    #: (:meth:`SphinxServer.drain_notice`) evict every in-flight job at
+    #: the site so its checkpoint is persisted and the job replans onto
+    #: a live site inside the notice window, instead of losing the work
+    #: at the reclaim instant.  None (default) means "auto": off unless
+    #: a chaos plan's eviction axis arms it; an explicit False wins
+    #: over the plan (the kill-and-resubmit baseline).
+    migrate_on_drain: Optional[bool] = None
+    #: job checkpointing: > 0 makes every planned job persist progress
+    #: each interval (at ``job_checkpoint_cost_s`` CPU-seconds per
+    #: write), so a killed attempt resumes from its last checkpoint
+    #: rather than zero.  None = auto (chaos plan decides); 0 = off.
+    job_checkpoint_interval_s: Optional[float] = None
+    job_checkpoint_cost_s: Optional[float] = None
     #: incremental site-view cache: keep one :class:`SiteView` per site
     #: and invalidate O(1) on the transitions that can change it (a job
     #: planned/started/finished/cancelled at the site, a completion
@@ -189,6 +203,12 @@ class SphinxServer:
         self._m_timeouts = m.counter("server.timeouts", server=config.name)
         self._m_passes = m.counter("server.control_passes",
                                    server=config.name)
+        self._m_migrations = m.counter("server.migrations",
+                                       server=config.name)
+        self._m_ckpt_restores = m.counter("job.checkpoint_restores",
+                                          server=config.name)
+        self._m_preemption_loss = m.histogram("server.preemption_loss_s",
+                                              server=config.name)
 
         self.warehouse = warehouse if warehouse is not None else Warehouse()
         self._init_tables()
@@ -219,7 +239,15 @@ class SphinxServer:
         #: live DAG objects reconstructed from payloads (cache over the
         #: dag payload column; rebuilt lazily after recovery).
         self._dag_cache: dict[str, Dag] = {}
-        self._msg_seq = itertools.count()
+        # The message sequence must clear every undelivered message a
+        # restored warehouse carries over, or the first post-recovery
+        # send collides with a surviving msg_id.
+        next_seq = 0
+        for msg in self.warehouse.table("outbox").select(copy=False):
+            mid = msg["msg_id"]
+            if mid.startswith("m") and mid[1:].isdigit():
+                next_seq = max(next_seq, int(mid[1:]) + 1)
+        self._msg_seq = itertools.count(next_seq)
         #: per-site (planned, running) counters kept incrementally so the
         #: planner never scans the jobs table; rebuilt from the table on
         #: construction, which covers recovery.
@@ -264,6 +292,16 @@ class SphinxServer:
         self.timeout_count = 0
         self.stage_in_failures = 0
         self.regeneration_count = 0
+        self.migration_count = 0
+        self.checkpoint_restore_count = 0
+        #: CPU-seconds reported lost to preemption across all attempts.
+        self.preempted_work_s = 0.0
+        #: site -> published eviction deadline while it drains (kept
+        #: through the reclaim outage; cleared when the site is back).
+        #: The planner skips these sites; deliberately in-memory — a
+        #: recovered server re-learns live drains from fresh notices,
+        #: and ``presume_lost_after_s`` backstops what it missed.
+        self._draining: dict[str, float] = {}
 
         self.service_name = f"sphinx-server-{config.name}"
         if bus.has_service(self.service_name):
@@ -328,7 +366,7 @@ class SphinxServer:
                 "jobs",
                 ("job_id", "dag_id", "state", "site", "attempts",
                  "last_status", "planned_at", "finished_at",
-                 "completion_time_s"),
+                 "completion_time_s", "checkpoint_fraction"),
                 key="job_id",
             )
         if "outbox" not in w:
@@ -378,6 +416,7 @@ class SphinxServer:
                 "planned_at": None,
                 "finished_at": None,
                 "completion_time_s": None,
+                "checkpoint_fraction": 0.0,
             })
         self._dag_cache[dag.dag_id] = dag
         if self.obs.enabled:
@@ -406,6 +445,8 @@ class SphinxServer:
         completion_time_s: Optional[float] = None,
         reason: Optional[str] = None,
         missing: Optional[list] = None,
+        checkpointed_fraction: float = 0.0,
+        lost_work_s: float = 0.0,
     ) -> str:
         """Tracker report ingestion (feedback + prediction + automaton)."""
         jobs = self.warehouse.table("jobs")
@@ -478,6 +519,21 @@ class SphinxServer:
                 last_status=reason or "cancelled",
                 site=None,
             )
+            if checkpointed_fraction > 0.0:
+                # The attempt's fraction is relative to its (already
+                # reduced) runtime; fold it into the overall fraction so
+                # progress across attempts only ever grows.
+                prev = row["checkpoint_fraction"]
+                jobs.update(
+                    job_id,
+                    checkpoint_fraction=min(
+                        1.0, prev + (1.0 - prev) * checkpointed_fraction
+                    ),
+                )
+            if lost_work_s > 0.0:
+                self.preempted_work_s += lost_work_s
+                if self.obs.enabled:
+                    self._m_preemption_loss.observe(lost_work_s)
             self._dirty_dags.add(row["dag_id"])
             if reason == "stage-in":
                 # A missing *source* replica is not the execution site's
@@ -760,6 +816,17 @@ class SphinxServer:
         candidates = self.policy.feasible_sites(
             user, job.requirements, self._catalog_sites
         )
+        if self._draining:
+            # Never place new work on a site that published an eviction
+            # notice (it would be killed at the reclaim instant); if
+            # *every* feasible site is draining, wait a tick rather than
+            # knowingly burn the work.
+            live = [s for s in candidates if s not in self._draining]
+            if live:
+                candidates = live
+            else:
+                self._plan_deferred(drow, job.job_id, "draining")
+                return False
         feedback_dropped: list[str] = []
         if self.config.use_feedback:
             feasible = candidates
@@ -811,6 +878,15 @@ class SphinxServer:
         jobs = self.warehouse.table("jobs")
         # jrow may be the live row; read attempts before update mutates it.
         attempt = jrow["attempts"] + 1
+        fraction = jrow["checkpoint_fraction"]
+        runtime_s = job.runtime_s
+        if fraction > 0.0:
+            # Resume from the last persisted checkpoint: the attempt
+            # only has to run the unfinished remainder.
+            runtime_s = job.runtime_s * (1.0 - fraction)
+            self.checkpoint_restore_count += 1
+            if self.obs.enabled:
+                self._m_ckpt_restores.inc()
         jobs.update(
             job.job_id,
             state=_JOB_PLANNED,
@@ -840,30 +916,34 @@ class SphinxServer:
                     feedback_dropped=feedback_dropped,
                 )
                 self._job_spans[job.job_id] = span
-        self._send(
-            drow["client_id"],
-            "plan",
-            {
-                "job_id": job.job_id,
-                "dag_id": dag.dag_id,
-                "site": site,
-                "attempt": attempt,
-                "runtime_s": job.runtime_s,
-                "user": user,
-                "inputs": [
-                    {"lfn": f.lfn, "size_mb": f.size_mb} for f in job.inputs
-                ],
-                "outputs": [
-                    {"lfn": f.lfn, "size_mb": f.size_mb} for f in job.outputs
-                ],
-                "timeout_s": self.config.job_timeout_s,
-                "reservation_id": reservation_id,
-                # Plan origin: under a federation the client must report
-                # this job to the shard that planned it, not to whatever
-                # front door admitted the DAG.
-                "server": self.service_name,
-            },
-        )
+        plan_payload = {
+            "job_id": job.job_id,
+            "dag_id": dag.dag_id,
+            "site": site,
+            "attempt": attempt,
+            "runtime_s": runtime_s,
+            "user": user,
+            "inputs": [
+                {"lfn": f.lfn, "size_mb": f.size_mb} for f in job.inputs
+            ],
+            "outputs": [
+                {"lfn": f.lfn, "size_mb": f.size_mb} for f in job.outputs
+            ],
+            "timeout_s": self.config.job_timeout_s,
+            "reservation_id": reservation_id,
+            # Plan origin: under a federation the client must report
+            # this job to the shard that planned it, not to whatever
+            # front door admitted the DAG.
+            "server": self.service_name,
+        }
+        if self.config.job_checkpoint_interval_s:
+            plan_payload["checkpoint_interval_s"] = (
+                self.config.job_checkpoint_interval_s
+            )
+            plan_payload["checkpoint_cost_s"] = (
+                self.config.job_checkpoint_cost_s or 0.0
+            )
+        self._send(drow["client_id"], "plan", plan_payload)
         return True
 
     def _plan_deferred(self, drow: dict, job_id: str, reason: str) -> None:
@@ -878,6 +958,83 @@ class SphinxServer:
             if span is not None:
                 self.obs.tracer.add_event(span, "plan-deferred",
                                           job_id=job_id, reason=reason)
+
+    # ------------------------------------------------------- drain notices/migration
+    def drain_notice(self, site: str, deadline_s: Optional[float] = None) -> None:
+        """A site published a spot-eviction notice (it is DRAINING).
+
+        The planner stops placing new work there immediately.  With
+        ``config.migrate_on_drain`` the server also evicts every
+        in-flight job at the site inside the notice window: the client
+        kills the attempt (the site persists its checkpoint first), the
+        cancelled report refunds the draining site's quota charge, and
+        the replan charges the target site — conserving both ledgers.
+        ``presume_lost_after_s`` remains the backstop when the notice
+        or the eviction message itself is lost in transit.
+        """
+        if site not in self.site_catalog:
+            return  # not a site this server plans onto
+        already = site in self._draining
+        self._draining[site] = (
+            deadline_s if deadline_s is not None else self.env.now
+        )
+        self._invalidate_site_view(site)
+        if self.config.migrate_on_drain and not already:
+            self._migrate_off(site, self._draining[site])
+        self._wake()
+
+    def drain_cleared(self, site: str) -> None:
+        """The drained site's capacity is back; it may be planned again."""
+        if self._draining.pop(site, None) is not None:
+            self._invalidate_site_view(site)
+            self._wake()
+
+    def _migrate_off(self, site: str, deadline_s: float) -> None:
+        """Evict in-flight jobs at ``site`` that cannot beat the reclaim.
+
+        Work that can plausibly finish inside the notice window is left
+        to run: evicting it would discard progress (or a queue slot)
+        the drain was never going to take.  The remaining-time estimate
+        is optimistic (it books all elapsed time since planning as
+        progress, ignoring queueing and staging), which errs on the
+        side of *not* evicting — a wrong guess is caught by the reclaim
+        kill, whose cancelled report still carries the job's last
+        checkpoint, so the miss costs at most one checkpoint interval
+        of work.  Only jobs that genuinely cannot beat the deadline
+        migrate.
+        """
+        jobs = self.warehouse.table("jobs")
+        dags = self.warehouse.table("dags")
+        slack = deadline_s - self.env.now
+        moved = 0
+        for state in (_JOB_PLANNED, _JOB_SUBMITTED):
+            for row in jobs.select(where={"state": state}, copy=False):
+                if row["site"] != site:
+                    continue
+                drow = dags.get(row["dag_id"], copy=False)
+                if drow is None:
+                    continue
+                runtime = self._dag(row["dag_id"]).job(
+                    row["job_id"]
+                ).runtime_s * (1.0 - row["checkpoint_fraction"])
+                elapsed = (
+                    self.env.now - row["planned_at"]
+                    if state == _JOB_SUBMITTED and row["planned_at"] is not None
+                    else 0.0
+                )
+                if runtime - elapsed <= slack:
+                    continue  # likely to finish before the reclaim
+                self._send(drow["client_id"], "evict", {
+                    "job_id": row["job_id"],
+                    "attempt": row["attempts"],
+                    "site": site,
+                })
+                moved += 1
+        if moved:
+            self.migration_count += moved
+            if self.obs.enabled:
+                self._m_migrations.inc(moved)
+        self._flush_outbox()
 
     # ------------------------------------------------------ proactive reservations
     def _plan_context(self, drow: dict, dag: Dag, job_id: str) -> dict:
@@ -1139,6 +1296,15 @@ class SphinxServer:
             prow = jobs.get(producer, copy=False)
             if prow is None or prow["state"] not in _JOB_DONE_STATES:
                 continue  # already re-running
+            if prow["state"] == _JOB_FINISHED and prow["site"] is not None:
+                # A finished job still holds its quota charge; reverting
+                # it without the refund would leak usage at the site it
+                # finished on, once per regeneration.  (A REMOVED
+                # producer was never planned, so it holds no charge.)
+                self.policy.refund(
+                    self._dag_user(dag_id), prow["site"],
+                    dag.job(producer).requirements,
+                )
             # A REMOVED producer was skipped because its output existed
             # in the catalog at reduction time; the replica is gone now,
             # so the skipped work must actually run.
@@ -1149,6 +1315,9 @@ class SphinxServer:
                 site=None,
                 finished_at=None,
                 completion_time_s=None,
+                # The lost output must be re-derived from scratch; any
+                # old checkpoint predates the replica that is now gone.
+                checkpoint_fraction=0.0,
             )
             self.regeneration_count += 1
             self._dirty_dags.add(dag_id)

@@ -37,6 +37,12 @@ class TrackingResult:
     completion_time_s: Optional[float]
     idle_time_s: Optional[float]
     execution_time_s: Optional[float]
+    #: fraction of the work preserved by the attempt's last checkpoint
+    #: (nonzero only for cancelled attempts of checkpointing jobs) and
+    #: the CPU-seconds the kill discarded — what the server needs to
+    #: resume the next attempt instead of restarting it from zero.
+    checkpointed_fraction: float = 0.0
+    lost_work_s: float = 0.0
 
 
 @dataclass
@@ -163,4 +169,6 @@ class JobTracker:
             completion_time_s=None,
             idle_time_s=handle.idle_time_s,
             execution_time_s=None,
+            checkpointed_fraction=handle.checkpointed_fraction,
+            lost_work_s=handle.lost_work_s,
         )

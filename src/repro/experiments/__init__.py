@@ -21,6 +21,8 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.runner import ExperimentResult, ServerResult, run_scenario
 from repro.experiments.figures import (
+    ext_eviction,
+    ext_eviction_scenario,
     ext_reservation,
     ext_reservation_scenario,
     ext_scale,
@@ -36,8 +38,11 @@ from repro.experiments.parallel import (
     SuiteCase,
     SuiteRun,
     default_suite,
+    eviction_counts,
+    eviction_suite,
     federation_suite,
     headline_metrics,
+    preemption_loss_percentiles,
     run_suite,
     scale_suite,
     shard_latency_percentiles,
@@ -55,6 +60,10 @@ __all__ = [
     "SuiteRun",
     "default_fault_windows",
     "default_suite",
+    "eviction_counts",
+    "eviction_suite",
+    "ext_eviction",
+    "ext_eviction_scenario",
     "ext_reservation",
     "ext_reservation_scenario",
     "ext_scale",
@@ -68,6 +77,7 @@ __all__ = [
     "fig8_timeouts",
     "format_table",
     "headline_metrics",
+    "preemption_loss_percentiles",
     "shard_latency_percentiles",
     "run_scenario",
     "run_suite",

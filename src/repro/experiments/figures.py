@@ -44,6 +44,8 @@ __all__ = [
     "ext_reservation_scenario",
     "ext_scale",
     "ext_scale_scenario",
+    "ext_eviction",
+    "ext_eviction_scenario",
     "ALGORITHM_LINEUP",
 ]
 
@@ -227,6 +229,54 @@ def ext_scale_scenario(n_sites: int = 250, n_jobs: int = 10_000,
     )
 
 
+def ext_eviction_scenario(n_sites: int = 250, n_dags: int = 30,
+                          seed: int = 42,
+                          horizon_s: float = 24 * 3600.0,
+                          control_plane: str = ControlPlaneMode.PUSH,
+                          ) -> Scenario:
+    """Extension: kill-and-resubmit vs checkpoint-and-migrate under
+    spot-style eviction churn.
+
+    Two completion-time servers compete on a synthetic ``n_sites``
+    catalog with the scenario's own faults *off* — a spot-eviction
+    chaos plan supplies the churn, so both servers see the identical
+    drain schedule.  The ``resubmit`` spec pins every tolerance knob
+    off (an evicted attempt restarts from zero); the ``migrate`` spec
+    leaves them on auto, so the plan arms job checkpointing and drain
+    migration.  Jobs carry CPU-second requirements against a quota
+    sized to never bind, purely so the quota-conservation invariant
+    audits the refund/recharge ledger across every migration.
+
+    Jobs run 300 s (vs the paper's 60 s) so an attempt spans several
+    checkpoint intervals and cannot finish inside a default 120 s
+    eviction notice — the regime where checkpoint + migrate and
+    kill-and-resubmit genuinely diverge.
+    """
+    from repro.simgrid.grid import synthetic_sites
+
+    return Scenario(
+        name=f"ext-eviction-{n_sites}x{n_dags}dags",
+        servers=(
+            ServerSpec("resubmit", "completion-time",
+                       migrate_on_drain=False,
+                       job_checkpoint_interval_s=0.0,
+                       job_checkpoint_cost_s=0.0),
+            ServerSpec("migrate", "completion-time"),
+        ),
+        n_dags=n_dags,
+        seed=seed,
+        sites=synthetic_sites(n_sites),
+        background_batch_s=300.0,
+        fault_windows=(),
+        monitoring_interval_s=600.0,
+        horizon_s=horizon_s,
+        control_plane=control_plane,
+        job_requirements={"cpu_seconds": 300.0},
+        quota_per_site={"cpu_seconds": n_dags * 10 * 300.0},
+        workload_overrides={"runtime_s": 300.0},
+    )
+
+
 # -- drivers ---------------------------------------------------------------------
 def fig2_feedback(n_dags: int = 30, seed: int = 42,
                   horizon_s: float = 24 * 3600.0,
@@ -358,6 +408,34 @@ def ext_reservation(n_dags: int = 30, seed: int = 42,
     """
     return run_scenario(ext_reservation_scenario(n_dags, seed, horizon_s,
                                                  control_plane))
+
+
+def ext_eviction(n_sites: int = 250, n_dags: int = 30, seed: int = 42,
+                 horizon_s: float = 24 * 3600.0,
+                 control_plane: str = ControlPlaneMode.PUSH,
+                 eviction_mtbf_s: float = 2 * 3600.0,
+                 obs=None):
+    """Extension: preemption tolerance under spot-eviction churn.
+
+    Runs :func:`ext_eviction_scenario` under the ``spot-eviction``
+    chaos plan (same seed => same drain schedule for both servers) and
+    returns the :class:`~repro.chaos.run.ChaosRunResult` — its
+    ``.result`` holds the per-server migration/restore/preemption-loss
+    counters, its ``.report`` the invariant audit.  Expected shape:
+    the ``migrate`` server loses measurably less work (lower
+    ``preempted_work_s``) and finishes no fewer DAGs than ``resubmit``
+    at the same eviction rate.
+    """
+    from dataclasses import replace
+
+    from repro.chaos.plan import make_plan
+    from repro.chaos.run import run_chaos
+
+    plan = replace(make_plan("spot-eviction", seed=seed),
+                   eviction_mtbf_s=eviction_mtbf_s)
+    scenario = ext_eviction_scenario(n_sites, n_dags, seed, horizon_s,
+                                     control_plane)
+    return run_chaos(scenario, plan, obs=obs)
 
 
 def ext_scale(n_sites: int = 250, n_jobs: int = 10_000, seed: int = 42,

@@ -33,6 +33,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro import obs as obs_mod
 from repro.experiments.figures import (
+    ext_eviction_scenario,
     ext_reservation_scenario,
     ext_scale_scenario,
     fig2_scenario,
@@ -53,11 +54,14 @@ __all__ = [
     "SuiteCase",
     "SuiteRun",
     "default_suite",
+    "eviction_suite",
     "federation_suite",
     "scale_suite",
     "run_suite",
+    "eviction_counts",
     "headline_metrics",
     "planning_latency_percentiles",
+    "preemption_loss_percentiles",
     "reservation_counts",
     "shard_latency_percentiles",
     "suite_payload",
@@ -70,10 +74,18 @@ SCHEMA = "repro-bench-suite/v1"
 
 @dataclass(frozen=True, slots=True)
 class SuiteCase:
-    """One unit of suite work: a named, self-contained scenario."""
+    """One unit of suite work: a named, self-contained scenario.
+
+    ``plan`` optionally attaches a :class:`repro.chaos.plan.ChaosPlan`;
+    the case then runs under :func:`repro.chaos.run.run_chaos` and a
+    violated invariant fails the whole suite (a chaos case that merely
+    *degrades* would silently poison the perf trend).  Both pieces are
+    frozen, picklable data, so chaos cases parallelise like any other.
+    """
 
     name: str
     scenario: Scenario
+    plan: object | None = None
 
 
 @dataclass(slots=True)
@@ -222,8 +234,50 @@ def scale_suite(sizes: Sequence[tuple[int, int]], seed: int = 42,
     return tuple(cases)
 
 
-def _dispatch(scenario, obs, heartbeat) -> ExperimentResult:
-    """Run one scenario under whichever runner owns its type."""
+def eviction_suite(scale: float = 1.0, seed: int = 42,
+                   control_plane: str = ControlPlaneMode.PUSH,
+                   ) -> tuple[SuiteCase, ...]:
+    """The eviction-tolerance case: ``ext-eviction`` under the
+    ``spot-eviction`` chaos preset.
+
+    Runs the kill-and-resubmit baseline and the checkpoint+migrate
+    server side by side on the 250-site synthetic catalog while the
+    preset's per-site eviction storm drains sites out from under them.
+    ``scale`` shrinks the DAG count (floor of 4); migration counts and
+    preemption-loss percentiles land in the report via
+    :func:`eviction_counts` / :func:`preemption_loss_percentiles`.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    # Lazy import: repro.chaos.run imports back into this module.
+    from repro.chaos.plan import make_plan
+
+    return (SuiteCase(
+        "ext-eviction",
+        ext_eviction_scenario(n_dags=_scaled(30, scale), seed=seed,
+                              control_plane=control_plane),
+        plan=make_plan("spot-eviction", seed),
+    ),)
+
+
+def _dispatch(scenario, obs, heartbeat, plan=None) -> ExperimentResult:
+    """Run one scenario under whichever runner owns its type.
+
+    With ``plan`` set the case runs as a chaos drill (no heartbeat —
+    drills audit end state, they are not perf probes) and an invariant
+    violation raises instead of returning a quietly-broken result.
+    """
+    # Lazy imports: both runners import back into this package.
+    if plan is not None:
+        from repro.chaos.run import run_chaos
+
+        drill = run_chaos(scenario, plan, obs=obs)
+        if not drill.ok:
+            raise RuntimeError(
+                f"chaos invariants violated in {scenario.name}:\n"
+                f"{drill.report.format_text()}"
+            )
+        return drill.result
     from repro.federation.runner import FederationScenario, run_federation
 
     if isinstance(scenario, FederationScenario):
@@ -277,7 +331,8 @@ def _run_case(case: SuiteCase,
             label=case.name,
         )
     t0 = time.perf_counter()
-    result = _dispatch(case.scenario, obs=obs, heartbeat=heartbeat)
+    result = _dispatch(case.scenario, obs=obs, heartbeat=heartbeat,
+                       plan=case.plan)
     wall_s = time.perf_counter() - t0
     if out is not None and not stream_spans:
         from repro.obs.export import write_chrome_trace, write_spans_jsonl
@@ -378,6 +433,9 @@ def headline_metrics(result: ExperimentResult) -> dict:
                 "avg_job_idle_s": _json_safe(s.avg_job_idle_s),
                 "resubmissions": s.resubmissions,
                 "timeouts": s.timeouts,
+                "migrations": s.migrations,
+                "checkpoint_restores": s.checkpoint_restores,
+                "preempted_work_s": s.preempted_work_s,
             }
             for label, s in result.servers.items()
         },
@@ -458,6 +516,46 @@ def reservation_counts(snapshot: dict) -> dict:
     return out
 
 
+def eviction_counts(snapshot: dict) -> dict:
+    """Eviction-tolerance activity in a metrics-registry snapshot.
+
+    Sums the per-site ``site.evictions`` counter (running jobs killed
+    at slot reclaim) and the per-server ``server.migrations`` /
+    ``job.checkpoint_restores`` counters; all zeros when the case ran
+    without an eviction storm."""
+    out = {"evictions": 0, "migrations": 0, "checkpoint_restores": 0}
+    names = {"site.evictions": "evictions",
+             "server.migrations": "migrations",
+             "job.checkpoint_restores": "checkpoint_restores"}
+    for counter in snapshot.get("counters", ()):
+        key = names.get(counter["name"])
+        if key is not None:
+            out[key] += int(counter["value"])
+    return out
+
+
+def preemption_loss_percentiles(snapshot: dict) -> dict:
+    """Per-server preemption loss: ``{server: {"p50": ..., "p95": ...,
+    "count": ..., "total_s": ...}}`` from the ``server``-labelled
+    ``server.preemption_loss_s`` histograms (CPU-seconds of attempt
+    progress discarded per kill, net of checkpoint restores); empty
+    when nothing was ever preempted."""
+    out = {}
+    for hist in snapshot.get("histograms", ()):
+        if hist["name"] != "server.preemption_loss_s":
+            continue
+        server = hist.get("labels", {}).get("server")
+        if server is None or not hist.get("count"):
+            continue
+        out[server] = {
+            "p50": hist.get("p50"),
+            "p95": hist.get("p95"),
+            "count": hist.get("count", 0),
+            "total_s": hist.get("sum", 0.0),
+        }
+    return dict(sorted(out.items()))
+
+
 def wall_breakdown_ms(snapshot: dict) -> dict:
     """Per-phase wall-clock attribution (``server.wall_ms`` counters)
     in a metrics-registry snapshot; empty when the case ran without
@@ -504,6 +602,7 @@ def suite_payload(runs: Sequence[SuiteRun], scale: float,
             "planning_latency_p50_s": lat_p50,
             "planning_latency_p95_s": lat_p95,
             "reservations": reservation_counts(run.metrics),
+            "evictions": eviction_counts(run.metrics),
             **headline_metrics(run.result),
         }
         per_shard = shard_latency_percentiles(run.metrics)
@@ -511,6 +610,9 @@ def suite_payload(runs: Sequence[SuiteRun], scale: float,
             figures[run.name]["shards"] = per_shard
             figures[run.name]["federation"] = _federation_counts(
                 run.metrics)
+        loss = preemption_loss_percentiles(run.metrics)
+        if loss:
+            figures[run.name]["preemption_loss_s"] = loss
     return {
         "schema": SCHEMA,
         "scale": scale,

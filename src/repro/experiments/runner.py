@@ -66,6 +66,12 @@ class ServerResult:
     jobs_per_site: dict[str, int]
     avg_completion_per_site: dict[str, float]
     feedback_snapshot: dict[str, tuple[int, int]]
+    #: eviction tolerance: evict messages sent off draining sites,
+    #: attempts planned with a checkpoint resume, and total CPU-seconds
+    #: the kills discarded (zero on eviction-free runs).
+    migrations: int = 0
+    checkpoint_restores: int = 0
+    preempted_work_s: float = 0.0
 
     @property
     def avg_dag_completion_s(self) -> float:
@@ -132,6 +138,9 @@ def _build_server(
         reservation_slack=spec.reservation_slack,
         view_cache=spec.view_cache,
         checkpoint_interval_s=0.0,  # recovery is exercised separately
+        migrate_on_drain=spec.migrate_on_drain,
+        job_checkpoint_interval_s=spec.job_checkpoint_interval_s,
+        job_checkpoint_cost_s=spec.job_checkpoint_cost_s,
     )
     if chaos is not None:
         # Chaos runs need survivable settings (checkpoints, transactional
@@ -340,6 +349,9 @@ def run_scenario(scenario: Scenario,
             jobs_per_site=server.jobs_per_site(),
             avg_completion_per_site=server.estimator.snapshot(),
             feedback_snapshot=server.feedback.snapshot(),
+            migrations=server.migration_count,
+            checkpoint_restores=server.checkpoint_restore_count,
+            preempted_work_s=server.preempted_work_s,
         )
     return result
 

@@ -75,6 +75,13 @@ class ServerSpec:
     #: incremental site-view cache (decision-identical; off = rebuild
     #: every view from scratch, the ablation/bisect knob).
     view_cache: bool = True
+    #: eviction tolerance (see ServerConfig): None = auto — a chaos
+    #: plan's eviction axis decides; explicit values win over the plan
+    #: (e.g. ``migrate_on_drain=False`` pins the kill-and-resubmit
+    #: baseline even under a migration-armed plan).
+    migrate_on_drain: Optional[bool] = None
+    job_checkpoint_interval_s: Optional[float] = None
+    job_checkpoint_cost_s: Optional[float] = None
 
 
 def default_fault_windows(horizon_s: float) -> tuple[DowntimeWindow, ...]:

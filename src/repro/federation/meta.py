@@ -9,13 +9,18 @@ acknowledges it.  Planning, quota, and client reporting all happen
 shard-side — each plan carries its origin service, so execution
 reports bypass the meta entirely.
 
-Fault model: forwarding is at-least-once, shard acceptance is
-idempotent (duplicate-dag faults count as acks), so a DAG is never
-lost between admission and a shard warehouse — the chaos invariant
-checker audits exactly that.  A shard that stays continuously
-unreachable past ``rehome_after_s`` gets its **unacknowledged** DAGs
-re-homed to a live peer; acknowledged ones stay put, because the dead
-shard's warehouse owns them and its recovery will resume them
+Fault model: forwarding is at-least-once over a two-phase protocol.
+An ``offer_dag`` parks the DAG shard-side **in memory only**; a
+``confirm_dag`` makes it durable.  Offers are free to retry and to
+re-home (an abandoned offer never touches a warehouse); confirms pin
+the entry to one shard forever, because a confirm whose reply was
+lost may have landed — so even under transport chaos (dropped
+requests, dropped replies, duplicated dispatches) a DAG lands in
+exactly one shard warehouse, which the chaos invariant checker
+audits.  A shard that stays continuously unreachable past
+``rehome_after_s`` gets its **unoffered/unconfirmed-and-unpinned**
+DAGs re-homed to a live peer; pinned ones stay put, because the dead
+shard's warehouse may own them and its recovery will resume them
 (re-homing those would run the work twice).
 """
 
@@ -163,29 +168,57 @@ class MetaScheduler:
 
     # -- forwarding -------------------------------------------------------
     def _forward(self, entry: _Entry):
-        """Push one DAG to its shard until durably acknowledged."""
+        """Push one DAG to its shard until durably acknowledged.
+
+        Two phases.  ``offer_dag`` parks the DAG shard-side in memory
+        only, so a faulted offer is always safe to retry *or re-home*:
+        an abandoned offer never reaches a warehouse.  ``confirm_dag``
+        makes it durable — and from the first confirm attempt the entry
+        is pinned to its shard, because a confirm whose reply died may
+        have landed (every transport fault reads as ``unknown
+        service``; a dropped reply is indistinguishable from a dropped
+        request).  Re-homing past that point could place the DAG twice.
+        A pinned confirm that comes back ``"unknown"`` means the offer
+        died with a shard crash before the confirm arrived: replay
+        phase 1 on the same shard.
+        """
         try:
+            offered = False  # True = pinned: a confirm may have landed
             while True:
                 service = self.shard_services[entry.shard]
-                try:
-                    yield self.bus.call(
-                        _META_PROXY, service, "submit_dag",
-                        entry.client_id, entry.proxy, entry.payload,
-                        entry.priority,
-                    )
-                except RpcFault as fault:
-                    text = str(fault)
-                    if "duplicate dag" in text:
-                        pass  # earlier attempt landed; the reply died
-                    elif "unknown service" in text:
+                if not offered:
+                    try:
+                        yield self.bus.call(
+                            _META_PROXY, service, "offer_dag",
+                            entry.client_id, entry.proxy, entry.payload,
+                            entry.priority,
+                        )
+                    except RpcFault as fault:
+                        if "unknown service" not in str(fault):
+                            raise  # config error, not a fault to absorb
                         if self._note_unreachable(entry):
-                            continue  # re-homed; forward to the new shard
+                            continue  # re-homed; offer to the new shard
                         yield from self._unreachable_wait(service)
                         continue
-                    else:
-                        raise  # config error, not a fault to absorb
-                entry.state = "acked"
+                    self._unreachable_since[entry.shard] = None
+                    offered = True
+                    continue
+                try:
+                    reply = yield self.bus.call(
+                        _META_PROXY, service, "confirm_dag", entry.dag_id
+                    )
+                except RpcFault as fault:
+                    if "unknown service" not in str(fault):
+                        raise
+                    # Pinned: never re-home; wait and re-send the
+                    # confirm to the same shard.
+                    yield from self._unreachable_wait(service)
+                    continue
                 self._unreachable_since[entry.shard] = None
+                if reply == "unknown":
+                    offered = False  # crash ate the offer; replay it
+                    continue
+                entry.state = "acked"
                 return
         except Interrupt:
             return  # shutdown()

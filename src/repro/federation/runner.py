@@ -467,20 +467,15 @@ def run_federation_chaos(scenario: FederationScenario, plan, obs=None):
     The federated twin of :func:`repro.chaos.run.run_chaos`: same
     drain grace, same invariant checker — extended with the federation
     audit (no DAG lost between meta and shards, placed exactly once,
-    cross-shard lease conservation).
+    cross-shard lease conservation).  Transport faults are fair game:
+    the meta's two-phase offer/confirm forward keeps placement
+    exactly-once under dropped requests, dropped replies, and
+    duplicated dispatches alike.
     """
     from repro.chaos.drills import ChaosController
     from repro.chaos.invariants import check_invariants
     from repro.chaos.run import _DRAIN_GRACE_S, ChaosRunResult
 
-    if plan.transport_active:
-        # A dropped forward *reply* would make the meta re-home a DAG a
-        # shard already owns — double placement by design.  Transport
-        # chaos needs an acked-dedup protocol this PR does not claim.
-        raise ValueError(
-            "federation chaos does not support transport faults; "
-            "use crash/site presets (e.g. shard-outage)"
-        )
     controller = ChaosController(plan, obs=obs)
     env = Environment(lean=True)
     run = run_federation(scenario, env=env, obs=obs, chaos=controller)

@@ -47,6 +47,12 @@ class FederatedSphinxServer(SphinxServer):
         self.ledger: Optional[ShardQuotaLedger] = None
         self._peer_services: dict[str, str] = {}
         self._meta_service: Optional[str] = None
+        #: dag_id -> (client_id, user, payload, priority): DAGs the
+        #: meta has offered but not yet confirmed.  Deliberately
+        #: in-memory — an offer the meta abandons (re-homed elsewhere)
+        #: or that dies with a crash must leave no warehouse trace, or
+        #: two shards could end up owning the same DAG.
+        self._pending_admissions: dict[str, tuple] = {}
         self._digest_seq = 0
         self._transfer_seq = 0
         #: lease key -> last request instant (the cooldown memory)
@@ -85,6 +91,10 @@ class FederatedSphinxServer(SphinxServer):
                           self._rpc_load_digest)
         self.bus.register(self.service_name, "lease_transfer",
                           self._rpc_lease_transfer)
+        self.bus.register(self.service_name, "offer_dag",
+                          self._rpc_offer_dag)
+        self.bus.register(self.service_name, "confirm_dag",
+                          self._rpc_confirm_dag)
         # Planning latency gets the shard label so the suite can split
         # percentiles per shard; the unlabeled histogram stays the
         # single-server export.
@@ -137,6 +147,40 @@ class FederatedSphinxServer(SphinxServer):
             self.bus.call(self.config.name, self._meta_service,
                           "digest", digest)
         return digest
+
+    # -- two-phase admission ----------------------------------------------
+    def _rpc_offer_dag(self, client_id, user, dag_payload,
+                       priority=10) -> str:
+        """Phase 1 of the meta's forward: hold the DAG in memory only.
+
+        Nothing durable happens here, so a duplicated dispatch or an
+        offer the meta later re-homes to a peer leaves no warehouse
+        trace.  Replays (including an offer for an already-confirmed
+        DAG) are acks."""
+        dag_id = dag_payload["dag_id"]
+        if dag_id in self.warehouse.table("dags"):
+            return "accepted"  # confirmed already; phase 2 will say so
+        self._pending_admissions[dag_id] = (
+            client_id, user, dag_payload, priority
+        )
+        return "accepted"
+
+    def _rpc_confirm_dag(self, dag_id) -> str:
+        """Phase 2: durably admit a previously offered DAG.
+
+        Idempotent by warehouse lookup — a confirm whose reply died is
+        re-sent by the meta and lands here as a no-op.  ``"unknown"``
+        means the in-memory offer is gone (a crash wiped it before the
+        confirm arrived) and tells the meta to replay phase 1."""
+        if dag_id in self.warehouse.table("dags"):
+            self._pending_admissions.pop(dag_id, None)
+            return "confirmed"
+        pending = self._pending_admissions.pop(dag_id, None)
+        if pending is None:
+            return "unknown"
+        client_id, user, payload, priority = pending
+        self._rpc_submit_dag(client_id, user, payload, priority)
+        return "confirmed"
 
     def _rpc_load_digest(self, digest) -> str:
         changed = self.board.apply(digest)

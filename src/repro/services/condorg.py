@@ -108,6 +108,18 @@ class GridJobHandle:
         return self._site_job.idle_time_s if self._site_job else None
 
     @property
+    def checkpointed_fraction(self) -> float:
+        """Fraction of the job's work preserved by its last checkpoint
+        (0.0 unless the job checkpoints and was killed mid-run)."""
+        return self._site_job.checkpointed_fraction if self._site_job else 0.0
+
+    @property
+    def lost_work_s(self) -> float:
+        """CPU-seconds discarded when this attempt was killed (0.0 for
+        completed or never-started attempts)."""
+        return self._site_job.lost_work_s if self._site_job else 0.0
+
+    @property
     def execution_time_s(self) -> Optional[float]:
         return self._site_job.execution_time_s if self._site_job else None
 
@@ -202,6 +214,8 @@ class CondorG:
         priority: Optional[int] = None,
         reservation_id: Optional[str] = None,
         scheduler: Optional[str] = None,
+        checkpoint_interval_s: float = 0.0,
+        checkpoint_cost_s: float = 0.0,
     ) -> GridJobHandle:
         """Submit a job to ``site``; always returns a handle.
 
@@ -211,7 +225,9 @@ class CondorG:
         an unknown or expired reservation silently degrades to the
         ordinary queue (the job must still run).  ``scheduler`` tags the
         submission with the planning server's service name for the
-        per-shard accounting.
+        per-shard accounting.  ``checkpoint_interval_s`` > 0 makes the
+        job persist progress every interval (``checkpoint_cost_s`` per
+        write) so a later kill preserves partial work.
         """
         if job_id in self._handles:
             raise ValueError(f"duplicate grid job id {job_id!r}")
@@ -228,6 +244,8 @@ class CondorG:
             site_job = self.grid.site(site).submit(
                 job_id, runtime_s=runtime_s, owner=owner, priority=priority,
                 reservation_id=reservation_id,
+                checkpoint_interval_s=checkpoint_interval_s,
+                checkpoint_cost_s=checkpoint_cost_s,
             )
         except SiteUnavailableError:
             self.failed_submissions += 1

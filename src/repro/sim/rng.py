@@ -33,7 +33,16 @@ class RngStreams:
         return self._seed
 
     def stream(self, name: str) -> np.random.Generator:
-        """The generator for ``name`` (created on first use)."""
+        """The generator for ``name`` (created on first use).
+
+        Only the first 16 bytes of ``name`` enter the seed derivation:
+        names that share a 16-byte prefix share a stream.  Callers
+        composing names from a fixed prefix plus a long identifier
+        (e.g. per-site streams over a synthetic catalog) must put the
+        distinguishing part *first*.  The truncation itself is frozen —
+        widening it would re-seed every existing long-named stream and
+        break bit-identical replay of recorded runs.
+        """
         gen = self._streams.get(name)
         if gen is None:
             # Derive a child seed deterministically from (root seed, name).

@@ -10,6 +10,13 @@ Two injection styles:
 
 Both run as simulation processes and restore sites to UP afterwards.
 
+Spot-style **evictions** are a third shape built from the same parts:
+the site first publishes a drain notice (DRAINING for ``notice_s`` —
+still running, still accepting), then its slots are reclaimed (DOWN,
+killing whatever is left), then capacity returns.  Scripted
+:class:`EvictionEvent` lists and a per-site stochastic eviction storm
+both funnel through the one drain→reclaim→restore process.
+
 Restores are *epoch-guarded*: each injection bumps a per-site epoch and
 remembers it; the paired restore only fires if the epoch is unchanged,
 i.e. no other injector has touched the site since.  Without the guard,
@@ -27,7 +34,7 @@ from repro.sim.engine import Environment
 from repro.sim.rng import RngStreams
 from repro.simgrid.site import GridSite, SiteState
 
-__all__ = ["DowntimeWindow", "FailureInjector"]
+__all__ = ["DowntimeWindow", "EvictionEvent", "FailureInjector"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +55,28 @@ class DowntimeWindow:
             raise ValueError("a downtime window cannot inject state UP")
 
 
+@dataclass(frozen=True, slots=True)
+class EvictionEvent:
+    """One scripted spot eviction: ``site`` drains at ``at_s``.
+
+    The site publishes ``notice_s`` of warning (DRAINING), loses its
+    capacity for ``outage_s`` (DOWN — running jobs killed), then comes
+    back UP.  ``notice_s`` may be 0 (pure preemption, no warning).
+    """
+
+    site: str
+    at_s: float
+    notice_s: float = 120.0
+    outage_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or self.notice_s < 0 or self.outage_s <= 0:
+            raise ValueError(
+                f"invalid eviction (at={self.at_s}, notice={self.notice_s}, "
+                f"outage={self.outage_s}) for {self.site}"
+            )
+
+
 class FailureInjector:
     """Applies scripted windows and/or stochastic failures to sites."""
 
@@ -59,6 +88,8 @@ class FailureInjector:
         #: per-site injection epoch; a restore is valid only while the
         #: epoch still matches the one its own injection minted.
         self._epoch: dict[str, int] = {}
+        #: spot-eviction tally: site -> running jobs killed at reclaim
+        self.evicted_jobs: dict[str, int] = {}
 
     def _inject(self, name: str, state: SiteState) -> int:
         """Apply a fault and mint the epoch token guarding its restore."""
@@ -104,6 +135,80 @@ class FailureInjector:
         token = self._inject(w.site, w.state)
         yield self.env.timeout(w.end_s - w.start_s)
         self._restore(w.site, token)
+
+    # -- spot-style evictions --------------------------------------------------
+    def schedule_evictions(self, events: Iterable[EvictionEvent]) -> None:
+        """Install scripted spot evictions (drain → reclaim → restore)."""
+        for ev in sorted(events, key=lambda e: (e.site, e.at_s)):
+            if ev.site not in self._sites:
+                raise KeyError(f"unknown site {ev.site!r}")
+            self.env.process(self._apply_eviction(ev))
+
+    def start_eviction_storm(
+        self,
+        rng: RngStreams,
+        site_names: Sequence[str] | None = None,
+        mtbf_s: float = 4 * 3600.0,
+        notice_s: float = 120.0,
+        outage_s: float = 600.0,
+    ) -> None:
+        """Start a Poisson spot-eviction process per site.
+
+        Each site draws exponential inter-eviction times from its own
+        named stream (``<site>/evictions`` — site name *first*, because
+        stream names hash on their leading 16 bytes and a common prefix
+        would collapse long synthetic-catalog names like ``syn0123``
+        into one shared stream), so the schedule is a pure function of
+        the seed and never perturbs other streams.
+        """
+        if mtbf_s <= 0:
+            raise ValueError("eviction MTBF must be > 0")
+        names = list(site_names) if site_names is not None else sorted(self._sites)
+        for name in names:
+            if name not in self._sites:
+                raise KeyError(f"unknown site {name!r}")
+            stream = rng.stream(f"{name}/evictions")
+            self.env.process(
+                self._eviction_storm(name, stream, mtbf_s, notice_s, outage_s)
+            )
+
+    def _apply_eviction(self, ev: EvictionEvent):
+        if ev.at_s > self.env.now:
+            yield self.env.timeout(ev.at_s - self.env.now)
+        site = self._sites[ev.site]
+        if site.state is not SiteState.UP:
+            return  # another fault owns the site; skip this eviction
+        yield from self._evict(site, ev.notice_s, ev.outage_s)
+
+    def _eviction_storm(self, name, stream, mtbf_s, notice_s, outage_s):
+        site = self._sites[name]
+        while True:
+            yield self.env.timeout(float(stream.exponential(mtbf_s)))
+            if site.state is not SiteState.UP:
+                continue  # another fault already owns the site
+            yield from self._evict(site, notice_s, outage_s)
+
+    def _evict(self, site: GridSite, notice_s: float, outage_s: float):
+        """Drain → reclaim → restore, epoch-guarded like any other fault."""
+        name = site.name
+        token = self._epoch.get(name, 0) + 1
+        self._epoch[name] = token
+        site.start_drain(notice_s)
+        self.log.append((self.env.now, name, SiteState.DRAINING))
+        if notice_s > 0:
+            yield self.env.timeout(notice_s)
+        if self._epoch.get(name) != token or site.state is not SiteState.DRAINING:
+            return  # superseded mid-notice; the newer fault owns the site
+        evicted = site.scheduler.running_jobs
+        self.evicted_jobs[name] = self.evicted_jobs.get(name, 0) + evicted
+        if site.obs.enabled and evicted:
+            site.obs.metrics.counter("site.evictions", site=name).inc(evicted)
+        # Reclaim: the DOWN transition kills what is left and freezes
+        # the slots; the same epoch token guards the eventual restore.
+        site.set_state(SiteState.DOWN)
+        self.log.append((self.env.now, name, SiteState.DOWN))
+        yield self.env.timeout(outage_s)
+        self._restore(name, token)
 
     # -- stochastic faults ---------------------------------------------------------
     def start_stochastic(

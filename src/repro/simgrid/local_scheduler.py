@@ -36,6 +36,7 @@ invariant).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -105,13 +106,27 @@ class SiteJob:
     priority: int = 10
     #: reservation the job was bound to at submit, if any
     reservation_id: Optional[str] = None
+    #: checkpoint cadence in service-time seconds; 0 = no checkpointing
+    #: (the default path draws no extra time and stays bit-identical)
+    checkpoint_interval_s: float = 0.0
+    #: CPU cost of persisting one checkpoint
+    checkpoint_cost_s: float = 0.0
 
     status: SiteJobStatus = field(default=SiteJobStatus.PENDING, init=False)
     submitted_at: Optional[float] = field(default=None, init=False)
     started_at: Optional[float] = field(default=None, init=False)
     finished_at: Optional[float] = field(default=None, init=False)
+    #: share of the drawn service time preserved by the last completed
+    #: checkpoint when the job was killed while RUNNING (monotonic,
+    #: in [0, 1]); a restarted attempt can resume from here.
+    checkpointed_fraction: float = field(default=0.0, init=False)
+    #: CPU-seconds this attempt spent that a restart must redo
+    #: (un-checkpointed progress plus checkpoint writes); set at kill.
+    lost_work_s: float = field(default=0.0, init=False)
 
     _watchers: list = field(default_factory=list, init=False, repr=False)
+    #: drawn service time, memoized at start for preemption accounting
+    _service_s: Optional[float] = field(default=None, init=False, repr=False)
 
     def on_status_change(
         self, callback: Callable[["SiteJob", SiteJobStatus, SiteJobStatus], None]
@@ -227,6 +242,9 @@ class LocalScheduler:
         self.killed_count = 0
         self.held_count = 0
         self.backfill_count = 0
+        #: cumulative CPU-seconds of progress discarded by kills of
+        #: RUNNING jobs (the preemption-loss tally evictions minimize)
+        self.preempted_work_s = 0.0
         self.reservation_counts = {
             "confirmed": 0, "rejected": 0,
             "released": 0, "expired": 0, "cancelled": 0,
@@ -492,6 +510,12 @@ class LocalScheduler:
                 res.claimed.remove(job_id)
             except ValueError:
                 pass
+        if job_id in self._running:
+            # Killed while RUNNING: account checkpoint progress before
+            # the interrupt unwinds the runner, so status watchers (the
+            # Condor-G handle, the tracker) already see the final
+            # checkpointed_fraction when the KILLED transition fires.
+            self._record_preemption(job)
         proc = self._procs.get(job_id)
         if proc is not None and proc.is_alive:  # type: ignore[attr-defined]
             proc.interrupt(status)  # type: ignore[attr-defined]
@@ -557,9 +581,16 @@ class LocalScheduler:
         service = self._service_time_fn(job)
         if service < 0:
             raise ValueError(f"negative service time {service} for {job.job_id}")
+        job._service_s = service
+        occupancy = service
+        if job.checkpoint_interval_s > 0.0 and service > 0.0:
+            # The work is cut into interval-sized segments, each followed
+            # by a checkpoint write; the final segment needs none.
+            n_ckpt = max(0, math.ceil(service / job.checkpoint_interval_s) - 1)
+            occupancy = service + n_ckpt * job.checkpoint_cost_s
         self._running.add(job.job_id)
         try:
-            yield self.env.timeout(service)
+            yield self.env.timeout(occupancy)
         except Interrupt:
             return  # killed/held while running; _terminate set the status
         finally:
@@ -570,6 +601,35 @@ class LocalScheduler:
         job.finished_at = self.env.now
         job._set_status(SiteJobStatus.COMPLETED)
         self.completed_count += 1
+
+    def _record_preemption(self, job: SiteJob) -> None:
+        """Checkpoint accounting for a job killed while RUNNING.
+
+        With checkpointing on, each checkpoint ``i`` completes at
+        ``i * (interval + cost)`` into the run; the preserved share is
+        the last completed checkpoint's fraction of the drawn service
+        time.  Everything past it — un-checkpointed progress plus the
+        checkpoint writes themselves — is CPU time a restart must redo.
+        """
+        service = job._service_s or 0.0
+        started = job.started_at if job.started_at is not None else self.env.now
+        elapsed = max(0.0, self.env.now - started)
+        preserved = 0.0
+        interval = job.checkpoint_interval_s
+        if interval > 0.0 and service > 0.0:
+            block = interval + job.checkpoint_cost_s
+            limit = max(0, math.ceil(service / interval) - 1)
+            done = min(int(elapsed // block), limit)
+            preserved = done * interval
+            fraction = min(1.0, preserved / service)
+            if fraction > job.checkpointed_fraction:
+                job.checkpointed_fraction = fraction
+        job.lost_work_s = max(0.0, elapsed - preserved)
+        self.preempted_work_s += job.lost_work_s
+        if self.obs.enabled:
+            self.obs.metrics.histogram(
+                "site.preemption_loss_s", site=self.name
+            ).observe(job.lost_work_s)
 
     # -- reservation internals ------------------------------------------------------
     def _window_free(self, start_s: float, end_s: float, cpus: int) -> bool:

@@ -45,6 +45,9 @@ class SiteState(enum.Enum):
     DOWN = "down"            # offline: submissions rejected, jobs killed
     BLACKHOLE = "blackhole"  # accepts jobs, never starts them
     DEGRADED = "degraded"    # running, but much slower than normal
+    DRAINING = "draining"    # spot-style notice: still running, but the
+    #                          site's slots will be reclaimed at the
+    #                          published drain deadline
 
 
 class GridSite:
@@ -106,6 +109,12 @@ class GridSite:
         self._proxy_priority: dict[str, int] = {}
         #: state transition history [(time, state)] for analysis
         self.state_history: list[tuple[float, SiteState]] = [(env.now, SiteState.UP)]
+        #: eviction deadline while DRAINING (spot-style notice), else None
+        self.drain_deadline: Optional[float] = None
+        #: callbacks fired on every state transition with
+        #: ``(site, old_state, new_state)`` — the hook schedulers use to
+        #: hear drain notices the instant they are published.
+        self._state_listeners: list = []
         # Observability hook; the experiment runner swaps in a live
         # :class:`repro.obs.Obs` so fault transitions land in the trace.
         # (Attribute assignment, not a constructor argument, because
@@ -142,6 +151,8 @@ class GridSite:
         if state is self._state:
             return
         old, self._state = self._state, state
+        if state is not SiteState.DRAINING:
+            self.drain_deadline = None
         self.state_history.append((self.env.now, state))
         if self.obs.enabled:
             self.obs.metrics.counter(
@@ -162,9 +173,40 @@ class GridSite:
         elif state is SiteState.BLACKHOLE:
             # Silent failure: stop starting jobs, keep accepting them.
             self.scheduler.freeze()
+        elif state is SiteState.DRAINING:
+            # Notice window: the site keeps accepting and running work
+            # until the drain deadline; no batch-system side effects.
+            pass
         else:
             if old in (SiteState.DOWN, SiteState.BLACKHOLE):
                 self.scheduler.thaw()
+        listeners = self._state_listeners
+        if listeners:
+            # Fired after the batch-system side effects so listeners see
+            # the post-transition world; copy because a callback may
+            # (de)register listeners while we iterate.
+            for cb in list(listeners):
+                cb(self, old, state)
+
+    def add_state_listener(self, callback) -> None:
+        """Register ``callback(site, old_state, new_state)`` on every
+        transition (e.g. a scheduler watching for drain notices)."""
+        self._state_listeners.append(callback)
+
+    def start_drain(self, notice_s: float) -> float:
+        """Publish a spot-style eviction notice and enter DRAINING.
+
+        The site keeps accepting and running work for ``notice_s`` more
+        seconds; the caller (normally the failure injector) is expected
+        to reclaim the slots at the returned deadline.  State listeners
+        fire with the DRAINING transition and can read
+        :attr:`drain_deadline` to migrate work inside the window.
+        """
+        if notice_s < 0:
+            raise ValueError("drain notice must be >= 0 seconds")
+        self.drain_deadline = self.env.now + notice_s
+        self.set_state(SiteState.DRAINING)
+        return self.drain_deadline
 
     # -- local policy -------------------------------------------------------------------
     def set_proxy_priority(self, proxy: str, priority: int) -> None:
@@ -230,21 +272,28 @@ class GridSite:
         priority: Optional[int] = None,
         detached: bool = False,
         reservation_id: Optional[str] = None,
+        checkpoint_interval_s: float = 0.0,
+        checkpoint_cost_s: float = 0.0,
     ) -> SiteJob:
         """Submit a job to this site's batch system.
 
         Raises :class:`SiteUnavailableError` when the site is DOWN — the
         Globus gatekeeper does not answer.  BLACKHOLE sites accept the
-        job silently, which is precisely their danger.  ``detached``
-        marks watcher-less submissions (background load);
-        ``reservation_id`` claims a slot of a confirmed reservation; see
-        :meth:`LocalScheduler.submit`.
+        job silently, which is precisely their danger.  DRAINING sites
+        still accept work — the notice window is exactly for finishing
+        or moving jobs.  ``detached`` marks watcher-less submissions
+        (background load); ``reservation_id`` claims a slot of a
+        confirmed reservation; ``checkpoint_interval_s`` > 0 makes the
+        job persist progress every interval at ``checkpoint_cost_s``
+        CPU-seconds per write; see :meth:`LocalScheduler.submit`.
         """
         if self._state is SiteState.DOWN:
             raise SiteUnavailableError(f"site {self.name} is down")
         prio = priority if priority is not None else self.priority_for(owner)
         job = SiteJob(
-            job_id=job_id, owner=owner, runtime_s=runtime_s, priority=prio
+            job_id=job_id, owner=owner, runtime_s=runtime_s, priority=prio,
+            checkpoint_interval_s=checkpoint_interval_s,
+            checkpoint_cost_s=checkpoint_cost_s,
         )
         return self.scheduler.submit(
             job, detached=detached, reservation_id=reservation_id

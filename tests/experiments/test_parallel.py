@@ -112,6 +112,7 @@ def test_suite_payload_schema():
                 "finished_dags", "total_dags", "avg_dag_completion_s",
                 "avg_job_execution_s", "avg_job_idle_s",
                 "resubmissions", "timeouts",
+                "migrations", "checkpoint_restores", "preempted_work_s",
             }
     json.dumps(payload)  # must be serializable as-is
 

@@ -33,14 +33,15 @@ class FedStack:
     """N federated shards sharing one grid, bus, and monitoring."""
 
     def __init__(self, n_shards=2, n_sites=3, digest_interval_s=0.0,
-                 lease_cooldown_s=30.0, fed_kw=None, **config_kw):
+                 lease_cooldown_s=30.0, fed_kw=None, bus_factory=RpcBus,
+                 **config_kw):
         self.env = Environment(lean=True)
         self.grid = Grid(self.env, RngStreams(0))
         for i in range(n_sites):
             self.grid.add_site(SiteSpec(f"s{i}", n_cpus=4,
                                         background_utilization=0.0,
                                         service_noise_sigma=0.0))
-        self.bus = RpcBus(self.env)
+        self.bus = bus_factory(self.env)
         self.rls = ReplicaService(self.env, self.grid.site_names)
         self.monitoring = MonitoringService(self.env, self.grid,
                                             update_interval_s=60.0)

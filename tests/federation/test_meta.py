@@ -5,6 +5,7 @@ import pytest
 from repro.core.serialize import dag_to_payload
 from repro.federation import MetaScheduler
 from repro.federation.shards import ShardMap
+from repro.services.rpc import RpcBus, RpcFault
 
 from tests.federation.fedstack import FedStack, one_job_dag
 
@@ -106,3 +107,139 @@ def test_digest_is_proof_of_life_for_the_outage_clock():
     st.run(until=900.0)
     assert meta.assignments()["d0"] == home
     assert meta.rehomed_count == 0
+
+
+# -- two-phase forward under transport faults -----------------------------
+
+class FlakyBus(RpcBus):
+    """An RpcBus that injects one scripted fault per (service, method).
+
+    ``drop_reply`` entries run the handler but fault the caller (the
+    nasty leg: side effects land, the ack does not); ``drop_request``
+    entries fault without dispatching.  Each key fires once — the
+    retry goes through clean, so tests stay deterministic.
+    """
+
+    def __init__(self, env):
+        super().__init__(env)
+        self.drop_reply = set()
+        self.drop_request = set()
+        self.ghost = set()
+
+    def call(self, proxy, service, method, *args, **kwargs):
+        key = (service, method)
+        if key in self.drop_request:
+            self.drop_request.discard(key)
+            outer = self.env.event()
+            fault = RpcFault(f"unknown service {service!r} (test)")
+
+            def _fail(_ev):
+                outer.fail(fault)
+                outer.defuse()
+
+            self.env.timeout(2.0 * self.latency_s).add_callback(_fail)
+            return outer
+        if key in self.drop_reply:
+            self.drop_reply.discard(key)
+            inner = super().call(proxy, service, method, *args, **kwargs)
+            outer = self.env.event()
+            fault = RpcFault(f"unknown service {service!r} (test)")
+
+            def _swallow(ev):
+                if not ev.ok:
+                    ev.defuse()
+                outer.fail(fault)
+                outer.defuse()
+
+            inner.add_callback(_swallow)
+            return outer
+        if key in self.ghost:
+            # Duplicate delivery: dispatch twice, caller sees the first.
+            self.ghost.discard(key)
+
+            def _fire(_ev):
+                extra = RpcBus.call(self, proxy, service, method,
+                                    *args, **kwargs)
+                extra.add_callback(
+                    lambda ev: ev.defuse() if not ev.ok else None)
+
+            self.env.timeout(1.0).add_callback(_fire)
+        return super().call(proxy, service, method, *args, **kwargs)
+
+
+def placed_shards(st, dag_id):
+    return [lbl for lbl, srv in st.servers.items()
+            if dag_id in srv.warehouse.table("dags")]
+
+
+def flaky_stack():
+    st = FedStack(n_shards=2, bus_factory=FlakyBus)
+    for srv in st.servers.values():
+        srv.policy.grant_unlimited("/VO=v/CN=u")
+    return st
+
+
+def test_dropped_offer_reply_places_exactly_once():
+    st = flaky_stack()
+    meta = make_meta(st)
+    home = home_of(st)
+    st.bus.drop_reply.add((st.services[home], "offer_dag"))
+    submit(st, meta, one_job_dag("d0"))
+    st.run(until=60.0)
+    assert meta.unacked() == ()
+    assert placed_shards(st, "d0") == [home]
+
+
+def test_dropped_confirm_reply_places_exactly_once():
+    # The nasty leg: the confirm LANDS (the shard durably owns the
+    # DAG) but the meta's ack dies.  The resent confirm must read as
+    # idempotent, and the entry must never re-home.
+    st = flaky_stack()
+    meta = make_meta(st)
+    home = home_of(st)
+    st.bus.drop_reply.add((st.services[home], "confirm_dag"))
+    submit(st, meta, one_job_dag("d0"))
+    st.run(until=60.0)
+    assert meta.unacked() == ()
+    assert placed_shards(st, "d0") == [home]
+
+
+def test_dropped_confirm_request_is_retried():
+    st = flaky_stack()
+    meta = make_meta(st)
+    home = home_of(st)
+    st.bus.drop_request.add((st.services[home], "confirm_dag"))
+    submit(st, meta, one_job_dag("d0"))
+    st.run(until=60.0)
+    assert meta.unacked() == ()
+    assert placed_shards(st, "d0") == [home]
+
+
+def test_duplicated_forward_dispatches_place_exactly_once():
+    st = flaky_stack()
+    meta = make_meta(st)
+    home = home_of(st)
+    st.bus.ghost.add((st.services[home], "offer_dag"))
+    st.bus.ghost.add((st.services[home], "confirm_dag"))
+    submit(st, meta, one_job_dag("d0"))
+    st.run(until=60.0)
+    assert meta.unacked() == ()
+    assert placed_shards(st, "d0") == [home]
+    # The ghost confirm found the DAG already in the warehouse and the
+    # ghost offer must not have parked a stale pending copy.
+    assert st.servers[home]._pending_admissions == {}
+
+
+def test_crash_wiping_pending_offer_replays_phase_one():
+    # Confirm arriving at an incarnation that never saw the offer
+    # (in-memory pendings die with a crash) answers "unknown"; the
+    # meta must replay the offer on the same shard, not re-home.
+    st = flaky_stack()
+    home = home_of(st)
+    server = st.servers[home]
+    assert server._rpc_confirm_dag("never-offered") == "unknown"
+    meta = make_meta(st)
+    submit(st, meta, one_job_dag("d0"))
+    st.run(until=10.0)
+    assert meta.unacked() == ()
+    assert placed_shards(st, "d0") == [home]
